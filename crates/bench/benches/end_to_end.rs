@@ -1,0 +1,29 @@
+//! Criterion bench for a complete engine run (trace replay → scheduler →
+//! serverless platform), Tangram vs ELF.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tangram_core::engine::{EngineConfig, PolicyKind};
+use tangram_core::workload::TraceConfig;
+use tangram_types::ids::SceneId;
+
+fn bench_engine(c: &mut Criterion) {
+    let trace = TraceConfig::proxy_extractor(SceneId::new(1), 20, 7).build();
+    let mut group = c.benchmark_group("engine_20_frames");
+    group.sample_size(20);
+    for policy in [PolicyKind::Tangram, PolicyKind::Elf, PolicyKind::Mark] {
+        group.bench_function(policy.name(), |b| {
+            b.iter(|| {
+                let config = EngineConfig {
+                    policy,
+                    seed: 7,
+                    ..EngineConfig::default()
+                };
+                config.run(std::slice::from_ref(&trace)).total_cost()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

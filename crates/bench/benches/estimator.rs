@@ -1,0 +1,20 @@
+//! Criterion bench for the offline latency-estimator profiling (Eqn. 9).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tangram_infer::estimator::LatencyEstimator;
+use tangram_infer::latency::InferenceLatencyModel;
+use tangram_types::geometry::Size;
+
+fn bench_estimator(c: &mut Criterion) {
+    let model = InferenceLatencyModel::rtx4090_yolov8x();
+    c.bench_function("estimator_profile_9x1000", |b| {
+        b.iter(|| LatencyEstimator::profile(&model, Size::CANVAS_1024, 9, 1000, 3.0, 7));
+    });
+    let est = LatencyEstimator::paper_default(&model, Size::CANVAS_1024, 9);
+    c.bench_function("estimator_slack_lookup", |b| {
+        b.iter(|| est.slack_for(5));
+    });
+}
+
+criterion_group!(benches, bench_estimator);
+criterion_main!(benches);

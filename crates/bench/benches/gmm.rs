@@ -1,0 +1,32 @@
+//! Criterion bench for the Stauffer–Grimson background subtractor — the
+//! edge pipeline's hottest loop.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tangram_types::geometry::{Rect, Size};
+use tangram_video::object::GtObject;
+use tangram_video::raster::FrameRenderer;
+use tangram_vision::gmm::{GaussianMixtureModel, GmmParams};
+
+fn bench_gmm(c: &mut Criterion) {
+    let renderer = FrameRenderer::new(7, Size::new(960, 540), 1.0);
+    let objects: Vec<GtObject> = (0..20)
+        .map(|i| GtObject::new(i, Rect::new(40 + (i as u32) * 45, 200, 24, 48)))
+        .collect();
+    let frames: Vec<_> = (0..8).map(|i| renderer.render(i, &objects)).collect();
+    let mut group = c.benchmark_group("gmm_apply");
+    group.throughput(Throughput::Elements(960 * 540));
+    group.sample_size(20);
+    group.bench_function("960x540", |b| {
+        let mut gmm = GaussianMixtureModel::new(960, 540, GmmParams::default());
+        let mut i = 0usize;
+        b.iter(|| {
+            let mask = gmm.apply(&frames[i % frames.len()]);
+            i += 1;
+            mask.count_set()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gmm);
+criterion_main!(benches);

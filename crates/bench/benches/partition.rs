@@ -1,0 +1,35 @@
+//! Criterion bench for Algorithm 1 (adaptive frame partitioning).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tangram_partition::algorithm::{partition, PartitionConfig};
+use tangram_types::geometry::{Rect, Size};
+
+fn rois(n: usize) -> Vec<Rect> {
+    let mut x = 0xabcdef12345u64;
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            Rect::new(
+                (x % 3600) as u32,
+                ((x >> 20) % 2000) as u32,
+                40 + (x % 200) as u32,
+                60 + ((x >> 32) % 300) as u32,
+            )
+        })
+        .collect()
+}
+
+fn bench_partition(c: &mut Criterion) {
+    for (grid, n) in [(2u32, 50usize), (4, 50), (6, 50), (4, 250)] {
+        let boxes = rois(n);
+        let config = PartitionConfig::new(grid, grid);
+        c.bench_function(&format!("partition_{grid}x{grid}_{n}_rois"), |b| {
+            b.iter(|| partition(Size::UHD_4K, config, &boxes));
+        });
+    }
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion benches for the patch-stitching solver (Algorithm 2's inner
+//! loop) and the packer ablation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use tangram_stitch::packer::{GuillotinePacker, Packer, ShelfPacker, SkylinePacker};
+use tangram_stitch::solver::PatchStitchingSolver;
+use tangram_types::geometry::Size;
+
+fn workload(n: usize) -> Vec<Size> {
+    let mut x = 0x9e3779b97f4a7c15u64;
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            Size::new(60 + (x % 400) as u32, 80 + ((x >> 16) % 500) as u32)
+        })
+        .collect()
+}
+
+fn bench_packers(c: &mut Criterion) {
+    let sizes = workload(64);
+    let mut group = c.benchmark_group("packer_insert_64");
+    group.bench_function("guillotine", |b| {
+        b.iter_batched(
+            || GuillotinePacker::new(Size::CANVAS_1024),
+            |mut p| {
+                for &s in &sizes {
+                    let _ = p.insert(s);
+                }
+                p.used_area()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("shelf", |b| {
+        b.iter_batched(
+            || ShelfPacker::new(Size::CANVAS_1024),
+            |mut p| {
+                for &s in &sizes {
+                    let _ = p.insert(s);
+                }
+                p.used_area()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("skyline", |b| {
+        b.iter_batched(
+            || SkylinePacker::new(Size::CANVAS_1024),
+            |mut p| {
+                for &s in &sizes {
+                    let _ = p.insert(s);
+                }
+                p.used_area()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let solver = PatchStitchingSolver::new(Size::CANVAS_1024);
+    for n in [8usize, 32, 64] {
+        let sizes = workload(n);
+        c.bench_function(&format!("solver_stitch_{n}_patches"), |b| {
+            b.iter(|| solver.stitch_sizes(&sizes).expect("fits"));
+        });
+    }
+}
+
+criterion_group!(benches, bench_packers, bench_solver);
+criterion_main!(benches);

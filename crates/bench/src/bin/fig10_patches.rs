@@ -1,0 +1,75 @@
+//! Fig. 10 — adaptive partitioning under dynamic workloads.
+//!
+//! (a) patches per frame for each scene under 4×4 partitioning;
+//! (b) the CDF of canvas efficiency when each frame's patches are
+//! stitched onto 1024×1024 canvases as one request.
+
+use tangram_bench::{ExpOpts, TextTable};
+use tangram_core::workload::TraceConfig;
+use tangram_sim::stats::EmpiricalCdf;
+use tangram_stitch::canvas::Canvas;
+use tangram_stitch::solver::{split_to_fit, PatchStitchingSolver};
+use tangram_types::geometry::Size;
+use tangram_types::ids::SceneId;
+use tangram_types::patch::PatchInfo;
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    let frames = opts.frame_budget(30, 120);
+    let solver = PatchStitchingSolver::new(Size::CANVAS_1024);
+
+    println!("== Fig. 10(a): patches per frame (4x4 partitioning) ==\n");
+    let mut per_frame = TextTable::new(["scene", "mean", "min", "max"]);
+    let mut cdf = EmpiricalCdf::new();
+    let mut per_scene_eff: Vec<(SceneId, f64)> = Vec::new();
+    for scene in SceneId::all() {
+        let trace = TraceConfig::proxy_extractor(scene, frames, opts.seed).build();
+        let counts: Vec<usize> = trace.frames.iter().map(|f| f.patches.len()).collect();
+        let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+        per_frame.row([
+            scene.to_string(),
+            format!("{mean:.1}"),
+            format!("{}", counts.iter().min().unwrap()),
+            format!("{}", counts.iter().max().unwrap()),
+        ]);
+
+        // Fig. 10(b): stitch each frame's patches as one request.
+        let mut scene_eff = EmpiricalCdf::new();
+        for f in &trace.frames {
+            let mut infos: Vec<PatchInfo> = Vec::new();
+            for p in &f.patches {
+                for rect in split_to_fit(p.info.rect, Size::CANVAS_1024) {
+                    infos.push(PatchInfo { rect, ..p.info });
+                }
+            }
+            if infos.is_empty() {
+                continue;
+            }
+            let canvases = solver.stitch(&infos).expect("tiles fit");
+            for c in &canvases {
+                cdf.push(c.efficiency());
+                scene_eff.push(c.efficiency());
+            }
+        }
+        per_scene_eff.push((scene, scene_eff.mean()));
+    }
+    per_frame.print();
+    println!(
+        "\nPaper range: roughly 6–16 patches per frame, tracking object count and\nspatial spread.\n"
+    );
+
+    println!("== Fig. 10(b): CDF of canvas efficiency (4x4, 1024) ==\n");
+    let mut cdf_table = TextTable::new(["efficiency", "CDF"]);
+    for (v, p) in cdf.points(12) {
+        cdf_table.row([format!("{v:.3}"), format!("{p:.3}")]);
+    }
+    cdf_table.print();
+
+    println!("\nMean canvas efficiency per scene:");
+    let mut eff_table = TextTable::new(["scene", "mean efficiency"]);
+    for (scene, eff) in per_scene_eff {
+        eff_table.row([scene.to_string(), format!("{eff:.3}")]);
+    }
+    eff_table.print();
+    let _ = Canvas::new(tangram_types::ids::CanvasId::new(0), Size::CANVAS_1024);
+}

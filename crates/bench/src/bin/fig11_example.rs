@@ -1,0 +1,143 @@
+//! Fig. 11 — qualitative partitioning examples.
+//!
+//! Renders an ASCII view of two frames (a sparse scene_01 frame and a
+//! busy scene_08 frame) showing ground-truth objects (`o`), extractor
+//! RoIs (`+`) and the patch rectangles Algorithm 1 cuts (`#` borders),
+//! plus a PPM image written next to the binary output for close viewing.
+
+use std::io::Write;
+use tangram_bench::ExpOpts;
+use tangram_partition::algorithm::{partition, PartitionConfig};
+use tangram_sim::rng::DetRng;
+use tangram_types::geometry::Rect;
+use tangram_types::ids::SceneId;
+use tangram_video::generator::{FrameTruth, SceneSimulation, VideoConfig};
+use tangram_vision::detector::DetectorProxy;
+use tangram_vision::extractor::{ProxyExtractor, RoiExtractor};
+
+const COLS: u32 = 96;
+const ROWS: u32 = 27;
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    for (scene_idx, frame_skip) in [(1u8, 10usize), (8, 29)] {
+        let scene = SceneId::new(scene_idx);
+        let mut sim = SceneSimulation::new(scene, VideoConfig::default(), opts.seed);
+        let mut extractor = ProxyExtractor::new(
+            DetectorProxy::ssdlite_mobilenet_v2(),
+            DetRng::new(opts.seed).fork_indexed("fig11", u64::from(scene_idx)),
+        );
+        let mut frame = sim.next_frame();
+        for _ in 0..frame_skip {
+            frame = sim.next_frame();
+        }
+        let rois = extractor.extract(&frame);
+        let patches = partition(frame.frame_size, PartitionConfig::default(), &rois);
+        println!(
+            "== Fig. 11: {scene} frame#{} — {} objects, {} RoIs, {} patches (4x4) ==\n",
+            frame.frame.raw(),
+            frame.objects.len(),
+            rois.len(),
+            patches.len()
+        );
+        println!("{}", ascii_view(&frame, &rois, &patches));
+        let path = format!("target/fig11_{scene}.ppm");
+        if write_ppm(&path, &frame, &rois, &patches).is_ok() {
+            println!("(wrote {path})\n");
+        }
+    }
+    println!(
+        "Legend: 'o' ground-truth object, '+' extractor RoI area, '#' patch border.\nSparse frames need few patches; busy frames with spread objects cut more —\nthe adaptive behaviour of Fig. 10(a)."
+    );
+}
+
+fn to_cell(frame: &FrameTruth, x: u32, y: u32) -> (u32, u32) {
+    (
+        x * COLS / frame.frame_size.width,
+        y * ROWS / frame.frame_size.height,
+    )
+}
+
+fn ascii_view(frame: &FrameTruth, rois: &[Rect], patches: &[Rect]) -> String {
+    let mut grid = vec![vec![b'.'; COLS as usize]; ROWS as usize];
+    let fill = |r: &Rect, ch: u8, grid: &mut Vec<Vec<u8>>| {
+        let (x0, y0) = to_cell(frame, r.x, r.y);
+        let (x1, y1) = to_cell(frame, r.right().min(frame.frame_size.width - 1), r.bottom().min(frame.frame_size.height - 1));
+        for y in y0..=y1.min(ROWS - 1) {
+            for x in x0..=x1.min(COLS - 1) {
+                grid[y as usize][x as usize] = ch;
+            }
+        }
+    };
+    for r in rois {
+        fill(r, b'+', &mut grid);
+    }
+    for o in &frame.objects {
+        fill(&o.rect, b'o', &mut grid);
+    }
+    // Patch borders drawn last so they stay visible.
+    for p in patches {
+        let (x0, y0) = to_cell(frame, p.x, p.y);
+        let (x1, y1) = to_cell(
+            frame,
+            p.right().min(frame.frame_size.width - 1),
+            p.bottom().min(frame.frame_size.height - 1),
+        );
+        for x in x0..=x1.min(COLS - 1) {
+            grid[y0.min(ROWS - 1) as usize][x as usize] = b'#';
+            grid[y1.min(ROWS - 1) as usize][x as usize] = b'#';
+        }
+        for y in y0..=y1.min(ROWS - 1) {
+            grid[y as usize][x0.min(COLS - 1) as usize] = b'#';
+            grid[y as usize][x1.min(COLS - 1) as usize] = b'#';
+        }
+    }
+    grid.into_iter()
+        .map(|row| String::from_utf8(row).expect("ascii"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn write_ppm(
+    path: &str,
+    frame: &FrameTruth,
+    rois: &[Rect],
+    patches: &[Rect],
+) -> std::io::Result<()> {
+    let (w, h) = (960u32, 540u32);
+    let sx = |x: u32| x * w / frame.frame_size.width;
+    let sy = |y: u32| y * h / frame.frame_size.height;
+    let mut img = vec![[30u8, 30, 30]; (w * h) as usize];
+    let fill = |r: &Rect, color: [u8; 3], img: &mut Vec<[u8; 3]>| {
+        for y in sy(r.y)..sy(r.bottom()).min(h) {
+            for x in sx(r.x)..sx(r.right()).min(w) {
+                img[(y * w + x) as usize] = color;
+            }
+        }
+    };
+    for r in rois {
+        fill(r, [70, 70, 140], &mut img);
+    }
+    for o in &frame.objects {
+        fill(&o.rect, [200, 60, 60], &mut img);
+    }
+    for p in patches {
+        // Borders in green.
+        let (x0, x1) = (sx(p.x), sx(p.right()).min(w - 1));
+        let (y0, y1) = (sy(p.y), sy(p.bottom()).min(h - 1));
+        for x in x0..=x1 {
+            img[(y0 * w + x) as usize] = [60, 220, 60];
+            img[(y1 * w + x) as usize] = [60, 220, 60];
+        }
+        for y in y0..=y1 {
+            img[(y * w + x0) as usize] = [60, 220, 60];
+            img[(y * w + x1) as usize] = [60, 220, 60];
+        }
+    }
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "P6\n{w} {h}\n255")?;
+    for px in img {
+        f.write_all(&px)?;
+    }
+    Ok(())
+}

@@ -1,0 +1,100 @@
+//! Fig. 12 — end-to-end cost and SLO violation.
+//!
+//! Bandwidth ∈ {20, 40, 80} Mbps × five SLOs × four systems (Tangram,
+//! Clipper, ELF, MArk). Each cell runs the full engine over the five
+//! motivation scenes and reports the average per-scene cost and the
+//! pooled SLO violation rate.
+
+use tangram_bench::{ExpOpts, TextTable};
+use tangram_core::engine::{EngineConfig, PolicyKind};
+use tangram_core::workload::{CameraTrace, TraceConfig};
+use tangram_types::ids::SceneId;
+use tangram_types::time::SimDuration;
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    let frames = opts.frame_budget(40, 134);
+    let scenes: Vec<SceneId> = SceneId::all().take(if opts.quick { 2 } else { 5 }).collect();
+    let policies = [
+        PolicyKind::Tangram,
+        PolicyKind::Clipper,
+        PolicyKind::Elf,
+        PolicyKind::Mark,
+    ];
+    // MArk gets "an appropriate timeout for each bandwidth setting"
+    // (§V-A) — fixed per bandwidth, unaware of the actual SLO, which is
+    // exactly the knob-tuning burden Tangram removes.
+    let sweeps: [(f64, [f64; 5], f64); 3] = [
+        (20.0, [1.0, 1.1, 1.2, 1.3, 1.4], 0.55),
+        (40.0, [0.8, 0.9, 1.0, 1.1, 1.2], 0.45),
+        (80.0, [0.6, 0.7, 0.8, 0.9, 1.0], 0.35),
+    ];
+
+    // Traces are shared across every policy and SLO. The full run uses the
+    // GMM pipeline (the paper's prototype); quick mode falls back to the
+    // proxy extractor.
+    let traces: Vec<CameraTrace> = scenes
+        .iter()
+        .map(|&scene| {
+            if opts.quick {
+                TraceConfig::proxy_extractor(scene, frames, opts.seed).build()
+            } else {
+                TraceConfig::gmm_extractor(scene, frames, opts.seed).build()
+            }
+        })
+        .collect();
+
+    for (bw, slos, mark_timeout) in sweeps {
+        println!("== Fig. 12 @ {bw:.0} Mbps: average cost ($/scene) and SLO violation (%) ==\n");
+        let mut cost_table = TextTable::new([
+            "SLO (s)",
+            "Tangram",
+            "Clipper",
+            "ELF",
+            "MArk",
+        ]);
+        let mut viol_table = cost_table_clone_headers();
+        for slo in slos {
+            let mut cost_row = vec![format!("{slo:.1}")];
+            let mut viol_row = vec![format!("{slo:.1}")];
+            for policy in policies {
+                let mut total_cost = 0.0;
+                let mut violations = 0usize;
+                let mut patches = 0usize;
+                for trace in &traces {
+                    let config = EngineConfig {
+                        policy,
+                        slo: SimDuration::from_secs_f64(slo),
+                        bandwidth_mbps: bw,
+                        mark_timeout: Some(SimDuration::from_secs_f64(mark_timeout)),
+                        seed: opts.seed,
+                        ..EngineConfig::default()
+                    };
+                    let report = config.run(std::slice::from_ref(trace));
+                    total_cost += report.total_cost().get();
+                    violations += report.patches.iter().filter(|p| p.violated()).count();
+                    patches += report.patches_completed();
+                }
+                cost_row.push(format!("{:.4}", total_cost / traces.len() as f64));
+                viol_row.push(format!(
+                    "{:.1}",
+                    violations as f64 / patches.max(1) as f64 * 100.0
+                ));
+            }
+            cost_table.row(cost_row);
+            viol_table.row(viol_row);
+        }
+        println!("-- average cost ($ per scene clip) --");
+        cost_table.print();
+        println!("\n-- SLO violation (%) --");
+        viol_table.print();
+        println!();
+    }
+    println!(
+        "Paper shape: Tangram has the lowest cost in every cell, its cost falls as\nthe SLO loosens (more batching headroom), and its violations stay below 5%;\nClipper/MArk pay for padded inputs, ELF pays per-patch overheads and\nsaturates the uplink with raw crops at 20 Mbps."
+    );
+}
+
+fn cost_table_clone_headers() -> TextTable {
+    TextTable::new(["SLO (s)", "Tangram", "Clipper", "ELF", "MArk"])
+}

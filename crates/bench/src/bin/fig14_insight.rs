@@ -1,0 +1,127 @@
+//! Fig. 14 — a deep dive into Tangram's batching at SLO = 1 s.
+//!
+//! (a) the per-batch function-execution latency distribution at each
+//! bandwidth; (b) the patches-per-batch distribution; (c) the latency
+//! breakdown (total transmission vs total execution); (d) the joint
+//! distribution of patches vs canvases per batch; plus the amortised
+//! per-patch latency the paper derives (0.0252 / 0.0223 / 0.0213 s).
+
+use tangram_bench::{ExpOpts, TextTable};
+use tangram_core::engine::{EngineConfig, PolicyKind};
+use tangram_core::report::RunReport;
+use tangram_core::workload::{CameraTrace, TraceConfig};
+use tangram_sim::stats::EmpiricalCdf;
+use tangram_types::ids::SceneId;
+use tangram_types::time::SimDuration;
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    let frames = opts.frame_budget(40, 134);
+    let scenes: Vec<SceneId> = SceneId::all().take(if opts.quick { 2 } else { 5 }).collect();
+    let traces: Vec<CameraTrace> = scenes
+        .iter()
+        .map(|&scene| {
+            if opts.quick {
+                TraceConfig::proxy_extractor(scene, frames, opts.seed).build()
+            } else {
+                TraceConfig::gmm_extractor(scene, frames, opts.seed).build()
+            }
+        })
+        .collect();
+
+    let paper_amortized = [0.0252, 0.0223, 0.0213];
+    let mut summary = TextTable::new([
+        "bandwidth",
+        "exec p25/p50/p75 (s)",
+        "patches/batch p50 (max)",
+        "transmission total (s)",
+        "execution total (s)",
+        "amortized s/patch (paper)",
+    ]);
+
+    for (bi, bw) in [20.0, 40.0, 80.0].into_iter().enumerate() {
+        let mut exec_cdf = EmpiricalCdf::new();
+        let mut patch_cdf = EmpiricalCdf::new();
+        let mut transmission = SimDuration::ZERO;
+        let mut execution = SimDuration::ZERO;
+        let mut joint = [[0u32; 10]; 10]; // canvases (1..=9) × patch bands
+        let mut reports: Vec<RunReport> = Vec::new();
+        for trace in &traces {
+            let config = EngineConfig {
+                policy: PolicyKind::Tangram,
+                slo: SimDuration::from_secs(1),
+                bandwidth_mbps: bw,
+                seed: opts.seed,
+                ..EngineConfig::default()
+            };
+            let report = config.run(std::slice::from_ref(trace));
+            for b in &report.batches {
+                exec_cdf.push(b.execution.as_secs_f64());
+                patch_cdf.push(b.patch_count as f64);
+                let canvases = b.inputs.clamp(1, 9);
+                let band = ((b.patch_count.saturating_sub(1)) / 5).min(8);
+                joint[canvases][band] += 1;
+            }
+            transmission += report.transmission_busy;
+            execution += report.total_execution();
+            reports.push(report);
+        }
+        let total_patches: usize = reports.iter().map(RunReport::patches_completed).sum();
+        let amortized = execution.as_secs_f64() / total_patches.max(1) as f64;
+        summary.row([
+            format!("{bw:.0}Mbps"),
+            format!(
+                "{:.2}/{:.2}/{:.2}",
+                exec_cdf.quantile(0.25).unwrap_or(0.0),
+                exec_cdf.quantile(0.5).unwrap_or(0.0),
+                exec_cdf.quantile(0.75).unwrap_or(0.0)
+            ),
+            format!(
+                "{:.0} ({:.0})",
+                patch_cdf.quantile(0.5).unwrap_or(0.0),
+                patch_cdf.quantile(1.0).unwrap_or(0.0)
+            ),
+            format!("{:.1}", transmission.as_secs_f64()),
+            format!("{:.1}", execution.as_secs_f64()),
+            format!("{:.4} ({:.4})", amortized, paper_amortized[bi]),
+        ]);
+
+        if (bw - 80.0).abs() < f64::EPSILON {
+            println!("== Fig. 14(d) @ 80 Mbps: batches by canvases (rows) x patches (cols) ==\n");
+            let mut heat = TextTable::new([
+                "canvases",
+                "1-5",
+                "6-10",
+                "11-15",
+                "16-20",
+                "21-25",
+                "26-30",
+                "31-35",
+                "36-40",
+                ">40",
+            ]);
+            for canvases in 1..=9usize {
+                let row_total: u32 = joint[canvases].iter().sum();
+                if row_total == 0 {
+                    continue;
+                }
+                let mut cells = vec![canvases.to_string()];
+                for band in 0..9 {
+                    cells.push(format!(
+                        "{:.2}",
+                        f64::from(joint[canvases][band]) / f64::from(row_total)
+                    ));
+                }
+                heat.row(cells);
+            }
+            heat.print();
+            println!();
+        }
+    }
+
+    println!("== Fig. 14(a–c) summary (SLO = 1 s) ==\n");
+    summary.print();
+    println!(
+        "\nPaper: per-batch execution grows with bandwidth (bigger batches) while the\namortised per-patch latency falls (0.0252 → 0.0223 → 0.0213 s); transmission\ndominates the end-to-end breakdown; patches and canvases correlate\npositively in (d)."
+    );
+}

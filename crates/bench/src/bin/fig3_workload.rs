@@ -1,0 +1,53 @@
+//! Fig. 3 — fluctuation of inference workloads.
+//!
+//! (a) the RoI-proportion time series of each scene (sampled every 10
+//! frames here); (b) the CDF of RoI proportion pooled over all scenes.
+
+use tangram_bench::{ExpOpts, TextTable};
+use tangram_sim::stats::EmpiricalCdf;
+use tangram_types::ids::SceneId;
+use tangram_video::generator::{FrameTruth, SceneSimulation, VideoConfig};
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    let frames = opts.frame_budget(60, 200);
+    println!("== Fig. 3(a): RoI proportion over time (sampled every 10 frames) ==\n");
+
+    let mut cdf = EmpiricalCdf::new();
+    let mut series_table = TextTable::new(["scene", "mean", "min", "max", "samples (every 10th frame)"]);
+    for scene in SceneId::all() {
+        let mut sim = SceneSimulation::new(scene, VideoConfig::default(), opts.seed);
+        let props: Vec<f64> = sim
+            .frames(frames)
+            .iter()
+            .map(FrameTruth::roi_proportion)
+            .collect();
+        cdf.extend(props.iter().copied());
+        let mean = props.iter().sum::<f64>() / props.len() as f64;
+        let min = props.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = props.iter().cloned().fold(0.0f64, f64::max);
+        let samples: Vec<String> = props
+            .iter()
+            .step_by(10)
+            .map(|p| format!("{:.3}", p))
+            .collect();
+        series_table.row([
+            scene.to_string(),
+            format!("{mean:.4}"),
+            format!("{min:.4}"),
+            format!("{max:.4}"),
+            samples.join(" "),
+        ]);
+    }
+    series_table.print();
+
+    println!("\n== Fig. 3(b): CDF of RoI proportion across all scenes ==\n");
+    let mut cdf_table = TextTable::new(["RoI proportion", "CDF"]);
+    for (value, prob) in cdf.points(12) {
+        cdf_table.row([format!("{value:.4}"), format!("{prob:.3}")]);
+    }
+    cdf_table.print();
+    println!(
+        "\nPaper: proportions fluctuate irregularly within roughly 5–15%, with\nunpredictable peaks; the CDF mass sits in the same band."
+    );
+}

@@ -1,0 +1,59 @@
+//! Fig. 9 — bandwidth consumption per scene, normalised to Full Frame.
+
+use tangram_bench::{ExpOpts, TextTable};
+use tangram_core::workload::TraceConfig;
+use tangram_types::ids::SceneId;
+use tangram_video::scene::SceneProfile;
+
+/// Paper's Fig. 9 normalised values: (tangram 4×4, masked, elf); full = 1.
+const PAPER: [(f64, f64, f64); 10] = [
+    (0.257, 1.118, 3.891),
+    (0.349, 1.124, 2.866),
+    (0.318, 1.124, 3.143),
+    (0.895, 0.962, 1.117),
+    (0.373, 1.050, 2.679),
+    (0.361, 1.102, 2.774),
+    (0.323, 1.165, 3.097),
+    (0.406, 0.998, 2.461),
+    (0.438, 1.003, 2.285),
+    (0.407, 1.047, 2.457),
+];
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    println!("== Fig. 9: bandwidth normalised to Full Frame (ours vs paper) ==\n");
+    let mut table = TextTable::new(["scene", "Tangram 4x4", "Masked", "Full", "ELF"]);
+    for scene in SceneId::all() {
+        let profile = SceneProfile::panda(scene);
+        let frames = opts
+            .frames
+            .unwrap_or(if opts.quick { 25 } else { profile.eval_frames as usize });
+        let trace = if opts.quick {
+            TraceConfig::proxy_extractor(scene, frames, opts.seed).build()
+        } else {
+            TraceConfig::gmm_extractor(scene, frames, opts.seed).build()
+        };
+        let mut tangram = 0u64;
+        let mut masked = 0u64;
+        let mut full = 0u64;
+        let mut elf = 0u64;
+        for f in &trace.frames {
+            tangram += f.patches.iter().map(|p| p.encoded_size.get()).sum::<u64>();
+            masked += f.masked_frame_bytes.get();
+            full += f.full_frame_bytes.get();
+            elf += f.elf_patch_bytes.iter().map(|b| b.get()).sum::<u64>();
+        }
+        let p = PAPER[scene.array_index()];
+        table.row([
+            scene.to_string(),
+            format!("{:.3} ({:.3})", tangram as f64 / full as f64, p.0),
+            format!("{:.3} ({:.3})", masked as f64 / full as f64, p.1),
+            "1.000".to_string(),
+            format!("{:.3} ({:.3})", elf as f64 / full as f64, p.2),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nShape: Tangram uploads a fraction of the full-frame bytes (10–75% savings\nin the paper), Masked hovers around 1×, ELF's uncompressed crops exceed\nFull Frame by 1.1–3.9×."
+    );
+}

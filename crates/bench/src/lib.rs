@@ -1,0 +1,250 @@
+//! Shared experiment-harness utilities.
+//!
+//! Every table and figure of the paper has a binary in `src/bin/` that
+//! regenerates it (see `DESIGN.md` §3 for the index). This library holds
+//! the bits they share: CLI options, aligned table printing, and the
+//! accuracy-pipeline helpers that turn extractor output into
+//! [`tangram_infer::accuracy::PresentedObject`]s.
+
+use tangram_infer::accuracy::PresentedObject;
+use tangram_types::geometry::Rect;
+use tangram_video::generator::FrameTruth;
+
+/// Options common to all experiment binaries.
+#[derive(Debug, Clone)]
+pub struct ExpOpts {
+    /// Experiment seed (`--seed N`).
+    pub seed: u64,
+    /// Frame-count override (`--frames N`).
+    pub frames: Option<usize>,
+    /// Quick mode (`--quick`): fewer frames/scenes for smoke runs.
+    pub quick: bool,
+}
+
+impl ExpOpts {
+    /// Parses `std::env::args`. Unknown flags are ignored so wrappers can
+    /// pass extra context.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let mut opts = Self {
+            seed: 42,
+            frames: None,
+            quick: false,
+        };
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--seed" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        opts.seed = v;
+                        i += 1;
+                    }
+                }
+                "--frames" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        opts.frames = Some(v);
+                        i += 1;
+                    }
+                }
+                "--quick" => opts.quick = true,
+                _ => {}
+            }
+            i += 1;
+        }
+        opts
+    }
+
+    /// Frame budget: explicit `--frames`, else `quick_default` in quick
+    /// mode, else `full_default`.
+    #[must_use]
+    pub fn frame_budget(&self, quick_default: usize, full_default: usize) -> usize {
+        self.frames
+            .unwrap_or(if self.quick { quick_default } else { full_default })
+    }
+}
+
+/// A fixed-width text table.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a row (cells are stringified by the caller).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+    }
+
+    /// Renders the table with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let columns = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(columns) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{cell:<width$}", width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (columns - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Fraction of `object` covered by the union of `regions`, computed
+/// exactly via inclusion-exclusion on the clipped pieces (regions rarely
+/// overlap after merging, so the quadratic term is cheap).
+#[must_use]
+pub fn covered_fraction(object: &Rect, regions: &[Rect]) -> f64 {
+    let pieces: Vec<Rect> = regions
+        .iter()
+        .filter_map(|r| r.intersect(object))
+        .collect();
+    if pieces.is_empty() {
+        return 0.0;
+    }
+    let mut covered: i64 = pieces.iter().map(|p| p.area() as i64).sum();
+    // Subtract pairwise overlaps (regions overlapping inside the object).
+    for (i, a) in pieces.iter().enumerate() {
+        for b in &pieces[i + 1..] {
+            covered -= a.overlap_area(b) as i64;
+        }
+    }
+    (covered.max(0) as f64 / object.area() as f64).min(1.0)
+}
+
+/// Builds the presented objects for a frame whose pixels reach the model
+/// only inside `regions` (RoIs, patches or mask), presented at native
+/// scale. Objects completely outside the regions are absent.
+#[must_use]
+pub fn present_through_regions(frame: &FrameTruth, regions: &[Rect]) -> Vec<PresentedObject> {
+    frame
+        .objects
+        .iter()
+        .filter_map(|o| {
+            let coverage = covered_fraction(&o.rect, regions);
+            if coverage <= 0.0 {
+                return None;
+            }
+            Some(PresentedObject {
+                track: o.track,
+                true_rect: o.rect,
+                presented_area: o.rect.area() as f64 * coverage,
+                visible_fraction: coverage,
+            })
+        })
+        .collect()
+}
+
+/// Builds the presented objects for a whole frame uniformly rescaled by
+/// `scale` (full-frame and masked-frame baselines; downsizing baselines).
+#[must_use]
+pub fn present_scaled(frame: &FrameTruth, scale: f64) -> Vec<PresentedObject> {
+    frame
+        .objects
+        .iter()
+        .map(|o| PresentedObject::scaled(o.track, o.rect, scale))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tangram_types::geometry::Size;
+    use tangram_types::ids::{FrameId, SceneId};
+    use tangram_types::time::SimTime;
+    use tangram_video::object::GtObject;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(["scene", "value"]);
+        t.row(["scene_01", "1.0"]);
+        t.row(["s2", "22.5"]);
+        let r = t.render();
+        assert!(r.contains("scene_01  1.0"));
+        assert!(r.lines().count() == 4);
+    }
+
+    #[test]
+    fn covered_fraction_full_and_none() {
+        let obj = Rect::new(10, 10, 100, 100);
+        assert_eq!(covered_fraction(&obj, &[Rect::new(0, 0, 200, 200)]), 1.0);
+        assert_eq!(covered_fraction(&obj, &[Rect::new(500, 500, 10, 10)]), 0.0);
+    }
+
+    #[test]
+    fn covered_fraction_partial_union() {
+        let obj = Rect::new(0, 0, 100, 100);
+        // Two disjoint halves cover everything.
+        let halves = [Rect::new(0, 0, 50, 100), Rect::new(50, 0, 50, 100)];
+        assert!((covered_fraction(&obj, &halves) - 1.0).abs() < 1e-12);
+        // Two identical halves cover only half (double counting removed).
+        let dup = [Rect::new(0, 0, 50, 100), Rect::new(0, 0, 50, 100)];
+        assert!((covered_fraction(&obj, &dup) - 0.5).abs() < 1e-12);
+    }
+
+    fn mini_frame() -> FrameTruth {
+        FrameTruth {
+            scene: SceneId::new(1),
+            frame: FrameId::new(0),
+            timestamp: SimTime::ZERO,
+            frame_size: Size::UHD_4K,
+            objects: vec![
+                GtObject::new(1, Rect::new(0, 0, 100, 200)),
+                GtObject::new(2, Rect::new(2000, 1000, 80, 160)),
+            ],
+            raster: None,
+        }
+    }
+
+    #[test]
+    fn present_through_regions_drops_uncovered() {
+        let frame = mini_frame();
+        let regions = [Rect::new(0, 0, 500, 500)];
+        let presented = present_through_regions(&frame, &regions);
+        assert_eq!(presented.len(), 1);
+        assert_eq!(presented[0].track, 1);
+        assert!((presented[0].visible_fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn present_scaled_shrinks_areas() {
+        let frame = mini_frame();
+        let presented = present_scaled(&frame, 0.5);
+        assert_eq!(presented.len(), 2);
+        assert!((presented[0].presented_area - 100.0 * 200.0 * 0.25).abs() < 1e-9);
+    }
+}

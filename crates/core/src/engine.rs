@@ -1,0 +1,570 @@
+//! The end-to-end discrete-event engine.
+//!
+//! Composition: cameras replay their traces (closed-loop paced by the
+//! shared uplink, like the paper's "bandwidth simulates the arrival speed
+//! of patches"), the edge adds its processing delay, messages serialise
+//! over the FIFO link, the policy batches arrivals, the serverless
+//! platform executes, and every patch's end-to-end latency is checked
+//! against its SLO.
+//!
+//! The engine is identical for every policy — Fig. 12's differences come
+//! exclusively from batching decisions.
+
+use crate::policy::baselines::{
+    ClipperPolicy, ElfPolicy, FramePerRequestPolicy, MarkPolicy,
+};
+use crate::policy::{
+    Arrival, BatchSpec, BatchingPolicy, CompletionFeedback, FrameArrival, PolicyOutput,
+};
+use crate::report::{BatchRecord, PatchRecord, RunReport};
+use crate::scheduler::{SchedulerConfig, TangramScheduler};
+use crate::workload::CameraTrace;
+use tangram_infer::estimator::LatencyEstimator;
+use tangram_infer::latency::InferenceLatencyModel;
+use tangram_net::{Link, LinkConfig};
+use tangram_serverless::function::FunctionSpec;
+use tangram_serverless::platform::{InvocationRequest, ServerlessPlatform};
+use tangram_serverless::pricing::ResourcePrices;
+use tangram_sim::event::EventQueue;
+use tangram_types::geometry::Size;
+use tangram_types::patch::{Patch, PatchInfo};
+use tangram_types::time::{SimDuration, SimTime};
+
+/// Which policy the engine runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// The paper's scheduler.
+    Tangram,
+    /// Clipper-style AIMD batching.
+    Clipper,
+    /// One request per patch.
+    Elf,
+    /// MArk-style batch + timeout.
+    Mark,
+    /// One request per full frame.
+    FullFrame,
+    /// One request per masked frame.
+    MaskedFrame,
+}
+
+impl PolicyKind {
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyKind::Tangram => "Tangram",
+            PolicyKind::Clipper => "Clipper",
+            PolicyKind::Elf => "ELF",
+            PolicyKind::Mark => "MArk",
+            PolicyKind::FullFrame => "FullFrame",
+            PolicyKind::MaskedFrame => "MaskedFrame",
+        }
+    }
+
+    /// Whether the policy consumes patches (vs whole frames).
+    #[must_use]
+    pub fn patch_based(&self) -> bool {
+        !matches!(self, PolicyKind::FullFrame | PolicyKind::MaskedFrame)
+    }
+}
+
+/// Full configuration of one end-to-end run.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Policy under test.
+    pub policy: PolicyKind,
+    /// SLO stamped on every patch/frame.
+    pub slo: SimDuration,
+    /// Uplink bandwidth in Mbps (the paper sweeps 20/40/80).
+    pub bandwidth_mbps: f64,
+    /// Upper bound on the camera frame rate; the effective rate is
+    /// closed-loop: a camera captures its next frame only once the link
+    /// has drained its previous one.
+    pub max_fps: f64,
+    /// Edge compute (partitioning + encoding) before upload.
+    pub edge_delay: SimDuration,
+    /// Inference latency profile.
+    pub latency_model: InferenceLatencyModel,
+    /// Serverless function resources.
+    pub function_spec: FunctionSpec,
+    /// Billing prices.
+    pub prices: ResourcePrices,
+    /// Canvas size for stitching/padding policies.
+    pub canvas_size: Size,
+    /// MArk's timeout (`None` → half the SLO, a sensible per-bandwidth
+    /// default in the paper's spirit).
+    pub mark_timeout: Option<SimDuration>,
+    /// Estimator σ multiplier (the paper's k = 3; the slack ablation
+    /// sweeps it).
+    pub sigma_multiplier: f64,
+    /// Physical instance cap of the backend (the paper's testbed runs two
+    /// RTX 4090s; `None` = unlimited scale-out).
+    pub max_instances: Option<usize>,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            policy: PolicyKind::Tangram,
+            slo: SimDuration::from_secs(1),
+            bandwidth_mbps: 40.0,
+            max_fps: 10.0,
+            edge_delay: SimDuration::from_millis(15),
+            latency_model: InferenceLatencyModel::rtx4090_yolov8x(),
+            function_spec: FunctionSpec::paper_default(),
+            prices: ResourcePrices::alibaba_fc(),
+            canvas_size: Size::CANVAS_1024,
+            mark_timeout: None,
+            sigma_multiplier: 3.0,
+            max_instances: Some(4),
+            seed: 1,
+        }
+    }
+}
+
+enum Event {
+    /// Camera `cam` captures its next trace frame.
+    Capture { cam: usize },
+    /// A message reached the cloud.
+    Deliver { arrival: Arrival },
+    /// A policy wake-up.
+    Wake,
+    /// A batch finished executing (policy feedback).
+    Complete { feedback: CompletionFeedback },
+}
+
+impl EngineConfig {
+    /// Builds the policy instance for this configuration.
+    fn build_policy(&self) -> Box<dyn BatchingPolicy> {
+        let max_batch = self.function_spec.max_canvases().max(1);
+        match self.policy {
+            PolicyKind::Tangram => {
+                let estimator = LatencyEstimator::profile(
+                    &self.latency_model,
+                    self.canvas_size,
+                    max_batch,
+                    1000,
+                    self.sigma_multiplier,
+                    self.seed ^ 0x51ac,
+                );
+                Box::new(TangramScheduler::new(
+                    SchedulerConfig {
+                        canvas_size: self.canvas_size,
+                        max_canvases: max_batch,
+                    },
+                    estimator,
+                ))
+            }
+            PolicyKind::Clipper => Box::new(ClipperPolicy::new(max_batch)),
+            PolicyKind::Elf => Box::new(ElfPolicy::default()),
+            PolicyKind::Mark => Box::new(MarkPolicy::new(
+                max_batch,
+                self.mark_timeout.unwrap_or(self.slo / 2),
+            )),
+            PolicyKind::FullFrame => Box::new(FramePerRequestPolicy::full_frame()),
+            PolicyKind::MaskedFrame => Box::new(FramePerRequestPolicy::masked_frame()),
+        }
+    }
+
+    /// Runs the engine over the given camera traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces` is empty.
+    #[must_use]
+    pub fn run(&self, traces: &[CameraTrace]) -> RunReport {
+        assert!(!traces.is_empty(), "need at least one camera trace");
+        let mut policy = self.build_policy();
+        let mut platform = ServerlessPlatform::new(
+            self.function_spec.clone(),
+            self.latency_model.clone(),
+            self.seed,
+        )
+        .with_prices(self.prices);
+        platform.max_instances = self.max_instances;
+        let mut link = Link::new(LinkConfig::mbps(self.bandwidth_mbps));
+        let mut events: EventQueue<Event> = EventQueue::new();
+        let frame_interval = SimDuration::from_secs_f64(1.0 / self.max_fps);
+
+        let mut cursors = vec![0usize; traces.len()];
+        let mut patch_records: Vec<PatchRecord> = Vec::new();
+        let mut batch_records: Vec<BatchRecord> = Vec::new();
+        let mut transmission_busy = SimDuration::ZERO;
+        let mut frames_injected = 0u64;
+        let mut last_event_time = SimTime::ZERO;
+
+        // Stagger camera starts slightly so multi-camera runs do not
+        // synchronise artificially.
+        for cam in 0..traces.len() {
+            events.push(
+                SimTime::from_micros(cam as u64 * 1_000),
+                Event::Capture { cam },
+            );
+        }
+
+        let dispatch =
+            |now: SimTime,
+             spec: BatchSpec,
+             platform: &mut ServerlessPlatform,
+             patch_records: &mut Vec<PatchRecord>,
+             batch_records: &mut Vec<BatchRecord>,
+             events: &mut EventQueue<Event>| {
+                if spec.patches.is_empty() {
+                    return;
+                }
+                let max = platform.spec().max_canvases().max(1);
+                let request = InvocationRequest {
+                    canvases: spec.inputs.min(max),
+                    megapixels: spec.megapixels,
+                    submitted: now,
+                };
+                let outcome = platform
+                    .invoke(request)
+                    .expect("batch sized within the GPU bound");
+                let mut violations = 0usize;
+                for p in &spec.patches {
+                    let record = PatchRecord {
+                        patch: p.id,
+                        camera: p.camera,
+                        frame: p.frame,
+                        generated_at: p.generated_at,
+                        dispatched_at: now,
+                        finished_at: outcome.finished,
+                        slo: p.slo,
+                    };
+                    if record.violated() {
+                        violations += 1;
+                    }
+                    patch_records.push(record);
+                }
+                batch_records.push(BatchRecord {
+                    dispatched_at: now,
+                    inputs: spec.inputs,
+                    patch_count: spec.patches.len(),
+                    execution: outcome.execution,
+                    cold: outcome.cold,
+                    cost: outcome.cost,
+                    efficiencies: spec.canvas_efficiencies,
+                });
+                events.push(
+                    outcome.finished,
+                    Event::Complete {
+                        feedback: CompletionFeedback {
+                            finished: outcome.finished,
+                            execution: outcome.execution,
+                            violations,
+                            inputs: spec.inputs,
+                        },
+                    },
+                );
+            };
+
+        let handle_output = |now: SimTime,
+                                 output: PolicyOutput,
+                                 platform: &mut ServerlessPlatform,
+                                 patch_records: &mut Vec<PatchRecord>,
+                                 batch_records: &mut Vec<BatchRecord>,
+                                 events: &mut EventQueue<Event>| {
+            for spec in output.dispatches {
+                dispatch(now, spec, platform, patch_records, batch_records, events);
+            }
+            if let Some(wake) = output.next_wake {
+                events.push(wake.max(now), Event::Wake);
+            }
+        };
+
+        while let Some((now, event)) = events.pop() {
+            last_event_time = last_event_time.max(now);
+            match event {
+                Event::Capture { cam } => {
+                    let trace = &traces[cam];
+                    let Some(frame) = trace.frames.get(cursors[cam]) else {
+                        continue;
+                    };
+                    cursors[cam] += 1;
+                    frames_injected += 1;
+                    let generated_at = now;
+                    let ready = now + self.edge_delay;
+
+                    if self.policy.patch_based() {
+                        let elf = self.policy == PolicyKind::Elf;
+                        for (i, patch) in frame.patches.iter().enumerate() {
+                            let bytes = if elf {
+                                frame.elf_patch_bytes[i]
+                            } else {
+                                patch.encoded_size
+                            };
+                            let info = PatchInfo {
+                                generated_at,
+                                slo: self.slo,
+                                ..patch.info
+                            };
+                            let delivered = link.enqueue(ready, bytes);
+                            transmission_busy += link.config().bandwidth.transmission_time(bytes);
+                            events.push(
+                                delivered,
+                                Event::Deliver {
+                                    arrival: Arrival::Patch(Patch::new(info, bytes)),
+                                },
+                            );
+                        }
+                    } else {
+                        let masked = self.policy == PolicyKind::MaskedFrame;
+                        let bytes = if masked {
+                            frame.masked_frame_bytes
+                        } else {
+                            frame.full_frame_bytes
+                        };
+                        let mpx = if masked {
+                            frame.masked_megapixels
+                        } else {
+                            frame.full_megapixels
+                        };
+                        // The frame travels as one oversized "patch".
+                        let base = frame.patches.first().map_or_else(
+                            || PatchInfo {
+                                id: tangram_types::ids::PatchId::new(
+                                    (u64::from(trace.camera.raw()) << 40)
+                                        | (1 << 39)
+                                        | frame.frame.raw(),
+                                ),
+                                camera: trace.camera,
+                                frame: frame.frame,
+                                rect: tangram_types::geometry::Rect::from_size(
+                                    Size::UHD_4K,
+                                ),
+                                generated_at,
+                                slo: self.slo,
+                            },
+                            |p| PatchInfo {
+                                id: tangram_types::ids::PatchId::new(
+                                    p.info.id.raw() | (1 << 39),
+                                ),
+                                rect: tangram_types::geometry::Rect::from_size(Size::UHD_4K),
+                                generated_at,
+                                slo: self.slo,
+                                ..p.info
+                            },
+                        );
+                        let delivered = link.enqueue(ready, bytes);
+                        transmission_busy += link.config().bandwidth.transmission_time(bytes);
+                        events.push(
+                            delivered,
+                            Event::Deliver {
+                                arrival: Arrival::Frame(FrameArrival {
+                                    info: base,
+                                    effective_megapixels: mpx,
+                                }),
+                            },
+                        );
+                    }
+
+                    // Closed-loop pacing: next capture when both the frame
+                    // interval elapsed and the wire drained this upload.
+                    let next = (now + frame_interval).max(link.busy_until());
+                    if cursors[cam] < trace.frames.len() {
+                        events.push(next, Event::Capture { cam });
+                    }
+                }
+                Event::Deliver { arrival } => {
+                    let output = policy.on_arrival(now, arrival);
+                    handle_output(
+                        now,
+                        output,
+                        &mut platform,
+                        &mut patch_records,
+                        &mut batch_records,
+                        &mut events,
+                    );
+                }
+                Event::Wake => {
+                    let output = policy.on_tick(now);
+                    handle_output(
+                        now,
+                        output,
+                        &mut platform,
+                        &mut patch_records,
+                        &mut batch_records,
+                        &mut events,
+                    );
+                }
+                Event::Complete { feedback } => {
+                    let output = policy.on_completion(now, feedback);
+                    handle_output(
+                        now,
+                        output,
+                        &mut platform,
+                        &mut patch_records,
+                        &mut batch_records,
+                        &mut events,
+                    );
+                }
+            }
+        }
+
+        // End of stream: flush whatever is still queued.
+        let output = policy.flush(last_event_time);
+        for spec in output.dispatches {
+            dispatch(
+                last_event_time,
+                spec,
+                &mut platform,
+                &mut patch_records,
+                &mut batch_records,
+                &mut events,
+            );
+        }
+        while let Some((now, _)) = events.pop() {
+            last_event_time = last_event_time.max(now);
+        }
+
+        RunReport {
+            policy: self.policy.name().to_string(),
+            patches: patch_records,
+            batches: batch_records,
+            link: link.stats(),
+            platform: platform.stats(),
+            frames: frames_injected,
+            transmission_busy,
+            makespan: last_event_time.since(SimTime::ZERO),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::TraceConfig;
+    use tangram_types::ids::SceneId;
+
+    fn trace(frames: usize) -> CameraTrace {
+        TraceConfig::proxy_extractor(SceneId::new(1), frames, 7).build()
+    }
+
+    fn config(policy: PolicyKind) -> EngineConfig {
+        EngineConfig {
+            policy,
+            slo: SimDuration::from_secs(1),
+            bandwidth_mbps: 40.0,
+            seed: 7,
+            ..EngineConfig::default()
+        }
+    }
+
+    #[test]
+    fn tangram_run_completes_all_patches() {
+        let t = trace(15);
+        let expected = t.patch_count();
+        let report = config(PolicyKind::Tangram).run(&[t]);
+        // Oversized patches may split into tiles, so >= expected.
+        assert!(report.patches_completed() >= expected);
+        assert_eq!(report.frames, 15);
+        assert!(report.total_cost().get() > 0.0);
+        assert!(!report.batches.is_empty());
+    }
+
+    #[test]
+    fn tangram_batches_multiple_patches() {
+        let report = config(PolicyKind::Tangram).run(&[trace(20)]);
+        assert!(
+            report.mean_patches_per_batch() > 2.0,
+            "stitching should bundle patches: {}",
+            report.mean_patches_per_batch()
+        );
+        assert!(!report.canvas_efficiencies().is_empty());
+    }
+
+    #[test]
+    fn elf_never_batches() {
+        let report = config(PolicyKind::Elf).run(&[trace(10)]);
+        assert!(
+            report.batches.iter().all(|b| b.patch_count == 1),
+            "ELF is one request per patch"
+        );
+    }
+
+    #[test]
+    fn tangram_cheaper_than_elf() {
+        let t = trace(25);
+        let tangram = config(PolicyKind::Tangram).run(std::slice::from_ref(&t));
+        let elf = config(PolicyKind::Elf).run(&[t]);
+        assert!(
+            tangram.total_cost() < elf.total_cost(),
+            "tangram {} vs elf {}",
+            tangram.total_cost(),
+            elf.total_cost()
+        );
+    }
+
+    #[test]
+    fn tangram_violations_low_at_generous_slo() {
+        let mut cfg = config(PolicyKind::Tangram);
+        cfg.slo = SimDuration::from_secs_f64(1.5);
+        let report = cfg.run(&[trace(25)]);
+        assert!(
+            report.slo_violation_rate() < 0.05,
+            "violations {:.3}",
+            report.slo_violation_rate()
+        );
+    }
+
+    #[test]
+    fn full_frame_uses_more_bandwidth_than_tangram() {
+        let t = trace(10);
+        let tangram = config(PolicyKind::Tangram).run(std::slice::from_ref(&t));
+        let full = config(PolicyKind::FullFrame).run(&[t]);
+        assert!(tangram.total_bytes() < full.total_bytes());
+        assert_eq!(full.frames, 10);
+        assert!(full.batches.iter().all(|b| b.inputs == 1));
+    }
+
+    #[test]
+    fn clipper_and_mark_batch_but_pad() {
+        let t = trace(20);
+        let clipper = config(PolicyKind::Clipper).run(std::slice::from_ref(&t));
+        let mark = config(PolicyKind::Mark).run(&[t]);
+        assert!(clipper.mean_patches_per_batch() >= 1.0);
+        assert!(mark.mean_patches_per_batch() >= 1.0);
+        // Padded inputs: every input is a full canvas, so Mpx per input is
+        // the canvas area.
+        for b in clipper.batches.iter().chain(&mark.batches) {
+            assert_eq!(b.patch_count, b.inputs);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let t = trace(12);
+        let a = config(PolicyKind::Tangram).run(std::slice::from_ref(&t));
+        let b = config(PolicyKind::Tangram).run(&[t]);
+        assert_eq!(a.total_cost().get(), b.total_cost().get());
+        assert_eq!(a.patches_completed(), b.patches_completed());
+        assert_eq!(a.makespan, b.makespan);
+    }
+
+    #[test]
+    fn multi_camera_runs() {
+        let t1 = TraceConfig::proxy_extractor(SceneId::new(1), 8, 1).build();
+        let t2 = TraceConfig::proxy_extractor(SceneId::new(2), 8, 2).build();
+        let report = config(PolicyKind::Tangram).run(&[t1, t2]);
+        assert_eq!(report.frames, 16);
+        let cams: std::collections::HashSet<u32> =
+            report.patches.iter().map(|p| p.camera.raw()).collect();
+        assert_eq!(cams.len(), 2, "both cameras contribute patches");
+    }
+
+    #[test]
+    fn lower_bandwidth_increases_makespan() {
+        let t = trace(10);
+        let mut fast_cfg = config(PolicyKind::Tangram);
+        fast_cfg.bandwidth_mbps = 80.0;
+        let mut slow_cfg = config(PolicyKind::Tangram);
+        slow_cfg.bandwidth_mbps = 20.0;
+        let fast = fast_cfg.run(std::slice::from_ref(&t));
+        let slow = slow_cfg.run(&[t]);
+        assert!(slow.makespan >= fast.makespan);
+        assert!(slow.transmission_busy > fast.transmission_busy || slow.makespan > fast.makespan);
+    }
+}

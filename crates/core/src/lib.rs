@@ -1,0 +1,56 @@
+//! Tangram: SLO-aware batching for serverless video analytics.
+//!
+//! This crate is the paper's primary contribution plus everything needed
+//! to evaluate it end to end:
+//!
+//! * [`scheduler`] — the **online SLO-aware batching invoker**
+//!   (Algorithm 2): patches are re-stitched on every arrival, a
+//!   conservative µ+3σ latency estimate sets the invoke-by time
+//!   `t_remain = t_DDL − T_slack`, and batches dispatch exactly when
+//!   waiting longer would risk the SLO (or the GPU-memory bound of
+//!   constraint (5) is hit);
+//! * [`policy`] — the [`policy::BatchingPolicy`] trait plus the paper's
+//!   comparison systems: Full Frame, Masked Frame, ELF, Clipper (AIMD
+//!   batch sizing) and MArk (batch size + timeout);
+//! * [`workload`] — per-camera traces built from the synthetic scenes and
+//!   an RoI extractor, replayed identically across policies;
+//! * [`engine`] — the discrete-event end-to-end engine: cameras → edge
+//!   partitioning → uplink → scheduler → serverless platform, producing a
+//!   [`report::RunReport`] with per-patch latencies, per-batch records,
+//!   cost, bandwidth, and SLO-violation accounting;
+//! * [`runtime`] — a live, threaded runtime exposing the paper's
+//!   `receive_patch` / `invoke` API for real-time (non-simulated) use.
+//!
+//! # Example
+//!
+//! ```
+//! use tangram_core::engine::{EngineConfig, PolicyKind};
+//! use tangram_core::workload::TraceConfig;
+//! use tangram_types::ids::SceneId;
+//! use tangram_types::time::SimDuration;
+//!
+//! let trace = TraceConfig::proxy_extractor(SceneId::new(1), 20, 7).build();
+//! let config = EngineConfig {
+//!     policy: PolicyKind::Tangram,
+//!     slo: SimDuration::from_secs_f64(1.0),
+//!     bandwidth_mbps: 40.0,
+//!     seed: 7,
+//!     ..EngineConfig::default()
+//! };
+//! let report = config.run(&[trace]);
+//! assert!(report.patches_completed() > 0);
+//! assert!(report.slo_violation_rate() <= 0.2);
+//! ```
+
+pub mod engine;
+pub mod policy;
+pub mod report;
+pub mod runtime;
+pub mod scheduler;
+pub mod workload;
+
+pub use engine::{EngineConfig, PolicyKind};
+pub use policy::{Arrival, BatchSpec, BatchingPolicy, PolicyOutput};
+pub use report::RunReport;
+pub use scheduler::{SchedulerConfig, TangramScheduler};
+pub use workload::{CameraTrace, TraceConfig, TraceFrame};

@@ -1,0 +1,535 @@
+//! The paper's comparison systems (§V-A).
+//!
+//! * **Full Frame** — every 4K frame is one immediate request;
+//! * **Masked Frame** (AdaMask) — the masked frame is one immediate
+//!   request whose effective compute skips the masked background;
+//! * **ELF** — every patch is its own immediate request;
+//! * **Clipper** — dynamic batch sizing via additive-increase /
+//!   multiplicative-decrease on the SLO feedback, patches padded to
+//!   uniform model inputs;
+//! * **MArk** — maximum batch size plus a timeout from the first queued
+//!   patch, patches padded to uniform inputs.
+//!
+//! Clipper and MArk batch *requests* (one patch per model input, padded to
+//! the canvas resolution); only Tangram stitches multiple patches into one
+//! input, which is exactly the wedge the paper's Fig. 12 isolates.
+
+use crate::policy::{
+    padded_inputs_megapixels, Arrival, BatchSpec, BatchingPolicy, CompletionFeedback,
+    FrameArrival, PolicyOutput,
+};
+use tangram_types::geometry::Size;
+use tangram_types::patch::PatchInfo;
+use tangram_types::time::{SimDuration, SimTime};
+
+/// Immediate per-frame dispatch (Full Frame and Masked Frame).
+#[derive(Debug)]
+pub struct FramePerRequestPolicy {
+    name: &'static str,
+}
+
+impl FramePerRequestPolicy {
+    /// The Full Frame baseline.
+    #[must_use]
+    pub fn full_frame() -> Self {
+        Self { name: "FullFrame" }
+    }
+
+    /// The Masked Frame (AdaMask) baseline.
+    #[must_use]
+    pub fn masked_frame() -> Self {
+        Self {
+            name: "MaskedFrame",
+        }
+    }
+
+    fn dispatch_frame(f: FrameArrival) -> BatchSpec {
+        BatchSpec {
+            patches: vec![f.info],
+            inputs: 1,
+            megapixels: f.effective_megapixels,
+            canvas_efficiencies: Vec::new(),
+        }
+    }
+}
+
+impl BatchingPolicy for FramePerRequestPolicy {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn on_arrival(&mut self, _now: SimTime, arrival: Arrival) -> PolicyOutput {
+        match arrival {
+            Arrival::Frame(f) => PolicyOutput::dispatch(Self::dispatch_frame(f)),
+            Arrival::Patch(p) => {
+                // Frame policies receive only frames; a stray patch is
+                // served as its own request.
+                PolicyOutput::dispatch(BatchSpec {
+                    megapixels: p.info.rect.area() as f64 / 1.0e6,
+                    patches: vec![p.info],
+                    inputs: 1,
+                    canvas_efficiencies: Vec::new(),
+                })
+            }
+        }
+    }
+
+    fn on_tick(&mut self, _now: SimTime) -> PolicyOutput {
+        PolicyOutput::idle()
+    }
+
+    fn flush(&mut self, _now: SimTime) -> PolicyOutput {
+        PolicyOutput::idle()
+    }
+}
+
+/// ELF: one request per patch, no batching.
+#[derive(Debug)]
+pub struct ElfPolicy {
+    /// Model inputs are at least this large (tiny crops still pay a
+    /// realistic minimum input resolution).
+    pub min_input_megapixels: f64,
+}
+
+impl Default for ElfPolicy {
+    fn default() -> Self {
+        Self {
+            // 320×320 letterboxed minimum input.
+            min_input_megapixels: 0.1024,
+        }
+    }
+}
+
+impl BatchingPolicy for ElfPolicy {
+    fn name(&self) -> &'static str {
+        "ELF"
+    }
+
+    fn on_arrival(&mut self, _now: SimTime, arrival: Arrival) -> PolicyOutput {
+        match arrival {
+            Arrival::Patch(p) => {
+                let mpx =
+                    (p.info.rect.area() as f64 / 1.0e6).max(self.min_input_megapixels);
+                PolicyOutput::dispatch(BatchSpec {
+                    patches: vec![p.info],
+                    inputs: 1,
+                    megapixels: mpx,
+                    canvas_efficiencies: Vec::new(),
+                })
+            }
+            Arrival::Frame(f) => PolicyOutput::dispatch(BatchSpec {
+                megapixels: f.effective_megapixels,
+                patches: vec![f.info],
+                inputs: 1,
+                canvas_efficiencies: Vec::new(),
+            }),
+        }
+    }
+
+    fn on_tick(&mut self, _now: SimTime) -> PolicyOutput {
+        PolicyOutput::idle()
+    }
+
+    fn flush(&mut self, _now: SimTime) -> PolicyOutput {
+        PolicyOutput::idle()
+    }
+}
+
+/// Clipper's adaptive batching: AIMD on the batch size, dispatch whenever
+/// the queue reaches the current target, with an SLO safety valve on the
+/// oldest queued patch.
+#[derive(Debug)]
+pub struct ClipperPolicy {
+    /// Model input resolution each patch is resized/padded to.
+    pub input_size: Size,
+    /// Upper bound on the batch size (the platform's GPU limit).
+    pub max_batch: usize,
+    /// Estimated execution headroom required per input when checking the
+    /// safety valve (a coarse, Clipper-style latency budget).
+    pub per_input_budget: SimDuration,
+    batch_size: usize,
+    queue: Vec<PatchInfo>,
+}
+
+impl ClipperPolicy {
+    /// Creates the policy with the paper's serving setup.
+    #[must_use]
+    pub fn new(max_batch: usize) -> Self {
+        Self {
+            input_size: Size::CANVAS_1024,
+            max_batch: max_batch.max(1),
+            per_input_budget: SimDuration::from_millis(60),
+            batch_size: 1,
+            queue: Vec::new(),
+        }
+    }
+
+    /// Current AIMD batch-size target (diagnostics).
+    #[must_use]
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    fn take_batch(&mut self, n: usize) -> BatchSpec {
+        let n = n.min(self.queue.len());
+        let patches: Vec<PatchInfo> = self.queue.drain(..n).collect();
+        BatchSpec {
+            inputs: patches.len(),
+            megapixels: padded_inputs_megapixels(patches.len(), self.input_size),
+            patches,
+            canvas_efficiencies: Vec::new(),
+        }
+    }
+
+    fn safety_deadline(&self, queued: usize) -> SimDuration {
+        // Conservative execution estimate for the queue as one batch.
+        self.per_input_budget * queued.max(1) as u64
+    }
+}
+
+impl BatchingPolicy for ClipperPolicy {
+    fn name(&self) -> &'static str {
+        "Clipper"
+    }
+
+    fn on_arrival(&mut self, now: SimTime, arrival: Arrival) -> PolicyOutput {
+        let Arrival::Patch(p) = arrival else {
+            return PolicyOutput::idle();
+        };
+        self.queue.push(p.info);
+        let mut out = PolicyOutput::idle();
+        if self.queue.len() >= self.batch_size {
+            let n = self.batch_size;
+            out.dispatches.push(self.take_batch(n));
+        }
+        // Safety valve: if the oldest patch would bust its SLO waiting for
+        // a full batch, flush what we have.
+        if let Some(oldest) = self.queue.first() {
+            let needed = self.safety_deadline(self.queue.len());
+            if oldest.remaining_budget(now) <= needed {
+                let len = self.queue.len();
+                out.dispatches.push(self.take_batch(len));
+            } else {
+                out.next_wake = Some(oldest.deadline() - needed);
+            }
+        }
+        out
+    }
+
+    fn on_tick(&mut self, now: SimTime) -> PolicyOutput {
+        let Some(oldest) = self.queue.first() else {
+            return PolicyOutput::idle();
+        };
+        let needed = self.safety_deadline(self.queue.len());
+        if oldest.remaining_budget(now) <= needed {
+            let len = self.queue.len();
+            PolicyOutput::dispatch(self.take_batch(len))
+        } else {
+            PolicyOutput::wake_at(oldest.deadline() - needed)
+        }
+    }
+
+    fn on_completion(&mut self, _now: SimTime, feedback: CompletionFeedback) -> PolicyOutput {
+        if feedback.violations > 0 {
+            // Multiplicative decrease.
+            self.batch_size = (self.batch_size / 2).max(1);
+        } else {
+            // Additive increase.
+            self.batch_size = (self.batch_size + 1).min(self.max_batch);
+        }
+        PolicyOutput::idle()
+    }
+
+    fn flush(&mut self, _now: SimTime) -> PolicyOutput {
+        if self.queue.is_empty() {
+            return PolicyOutput::idle();
+        }
+        let len = self.queue.len();
+        PolicyOutput::dispatch(self.take_batch(len))
+    }
+}
+
+/// MArk's batching: a maximum batch size plus a timeout measured from the
+/// first patch in the queue.
+#[derive(Debug)]
+pub struct MarkPolicy {
+    /// Model input resolution each patch is padded to.
+    pub input_size: Size,
+    /// Batch size cap.
+    pub max_batch: usize,
+    /// Timeout from the first queued patch.
+    pub timeout: SimDuration,
+    queue: Vec<PatchInfo>,
+    first_arrival: Option<SimTime>,
+}
+
+impl MarkPolicy {
+    /// Creates the policy; the paper "sets an appropriate timeout for
+    /// each bandwidth setting" — callers pick it per experiment.
+    #[must_use]
+    pub fn new(max_batch: usize, timeout: SimDuration) -> Self {
+        Self {
+            input_size: Size::CANVAS_1024,
+            max_batch: max_batch.max(1),
+            timeout,
+            queue: Vec::new(),
+            first_arrival: None,
+        }
+    }
+
+    fn take_all(&mut self) -> BatchSpec {
+        self.first_arrival = None;
+        let patches = std::mem::take(&mut self.queue);
+        BatchSpec {
+            inputs: patches.len(),
+            megapixels: padded_inputs_megapixels(patches.len(), self.input_size),
+            patches,
+            canvas_efficiencies: Vec::new(),
+        }
+    }
+}
+
+impl BatchingPolicy for MarkPolicy {
+    fn name(&self) -> &'static str {
+        "MArk"
+    }
+
+    fn on_arrival(&mut self, now: SimTime, arrival: Arrival) -> PolicyOutput {
+        let Arrival::Patch(p) = arrival else {
+            return PolicyOutput::idle();
+        };
+        if self.queue.is_empty() {
+            self.first_arrival = Some(now);
+        }
+        self.queue.push(p.info);
+        if self.queue.len() >= self.max_batch {
+            return PolicyOutput::dispatch(self.take_all());
+        }
+        let deadline = self.first_arrival.expect("queue non-empty") + self.timeout;
+        if now >= deadline {
+            PolicyOutput::dispatch(self.take_all())
+        } else {
+            PolicyOutput::wake_at(deadline)
+        }
+    }
+
+    fn on_tick(&mut self, now: SimTime) -> PolicyOutput {
+        match self.first_arrival {
+            Some(first) if now >= first + self.timeout && !self.queue.is_empty() => {
+                PolicyOutput::dispatch(self.take_all())
+            }
+            Some(first) => PolicyOutput::wake_at(first + self.timeout),
+            None => PolicyOutput::idle(),
+        }
+    }
+
+    fn flush(&mut self, _now: SimTime) -> PolicyOutput {
+        if self.queue.is_empty() {
+            return PolicyOutput::idle();
+        }
+        PolicyOutput::dispatch(self.take_all())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tangram_types::geometry::Rect;
+    use tangram_types::ids::{CameraId, FrameId, PatchId};
+    use tangram_types::patch::Patch;
+    use tangram_types::units::Bytes;
+
+    fn patch(id: u64, gen_ms: u64, slo_ms: u64) -> Patch {
+        Patch::new(
+            PatchInfo::new(
+                PatchId::new(id),
+                CameraId::new(0),
+                FrameId::new(0),
+                Rect::new(0, 0, 400, 300),
+                SimTime::from_micros(gen_ms * 1000),
+                SimDuration::from_millis(slo_ms),
+            ),
+            Bytes::from_kib(40),
+        )
+    }
+
+    fn frame(gen_ms: u64) -> FrameArrival {
+        FrameArrival {
+            info: PatchInfo::new(
+                PatchId::new(99),
+                CameraId::new(0),
+                FrameId::new(1),
+                Rect::new(0, 0, 3840, 2160),
+                SimTime::from_micros(gen_ms * 1000),
+                SimDuration::from_secs(1),
+            ),
+            effective_megapixels: 8.29,
+        }
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_micros(ms * 1000)
+    }
+
+    #[test]
+    fn full_frame_dispatches_immediately() {
+        let mut p = FramePerRequestPolicy::full_frame();
+        let out = p.on_arrival(t(0), Arrival::Frame(frame(0)));
+        assert_eq!(out.dispatches.len(), 1);
+        assert_eq!(out.dispatches[0].inputs, 1);
+        assert!((out.dispatches[0].megapixels - 8.29).abs() < 1e-9);
+        assert_eq!(p.name(), "FullFrame");
+    }
+
+    #[test]
+    fn elf_one_request_per_patch() {
+        let mut p = ElfPolicy::default();
+        let a = p.on_arrival(t(0), Arrival::Patch(patch(1, 0, 1000)));
+        let b = p.on_arrival(t(1), Arrival::Patch(patch(2, 1, 1000)));
+        assert_eq!(a.dispatches.len() + b.dispatches.len(), 2);
+        // 400×300 = 0.12 Mpx, above the letterbox minimum.
+        assert!((a.dispatches[0].megapixels - 0.12).abs() < 1e-9);
+    }
+
+    #[test]
+    fn elf_pads_tiny_patches() {
+        let mut p = ElfPolicy::default();
+        let tiny = Patch::new(
+            PatchInfo::new(
+                PatchId::new(1),
+                CameraId::new(0),
+                FrameId::new(0),
+                Rect::new(0, 0, 50, 50),
+                SimTime::ZERO,
+                SimDuration::from_secs(1),
+            ),
+            Bytes::from_kib(4),
+        );
+        let out = p.on_arrival(t(0), Arrival::Patch(tiny));
+        assert!((out.dispatches[0].megapixels - 0.1024).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clipper_waits_for_batch_then_dispatches() {
+        let mut p = ClipperPolicy::new(8);
+        // Grow the target first: a completed batch without violations.
+        let _ = p.on_completion(
+            t(0),
+            CompletionFeedback {
+                finished: t(0),
+                execution: SimDuration::from_millis(50),
+                violations: 0,
+                inputs: 1,
+            },
+        );
+        assert_eq!(p.batch_size(), 2);
+        let out1 = p.on_arrival(t(0), Arrival::Patch(patch(1, 0, 2000)));
+        assert!(out1.dispatches.is_empty(), "waiting for a second patch");
+        let out2 = p.on_arrival(t(5), Arrival::Patch(patch(2, 5, 2000)));
+        assert_eq!(out2.dispatches.len(), 1);
+        assert_eq!(out2.dispatches[0].inputs, 2);
+    }
+
+    #[test]
+    fn clipper_aimd_shrinks_on_violation() {
+        let mut p = ClipperPolicy::new(8);
+        for _ in 0..5 {
+            let _ = p.on_completion(
+                t(0),
+                CompletionFeedback {
+                    finished: t(0),
+                    execution: SimDuration::from_millis(50),
+                    violations: 0,
+                    inputs: 1,
+                },
+            );
+        }
+        assert_eq!(p.batch_size(), 6);
+        let _ = p.on_completion(
+            t(0),
+            CompletionFeedback {
+                finished: t(0),
+                execution: SimDuration::from_millis(500),
+                violations: 2,
+                inputs: 6,
+            },
+        );
+        assert_eq!(p.batch_size(), 3, "multiplicative decrease");
+    }
+
+    #[test]
+    fn clipper_safety_valve_fires_near_deadline() {
+        let mut p = ClipperPolicy::new(8);
+        for _ in 0..5 {
+            let _ = p.on_completion(
+                t(0),
+                CompletionFeedback {
+                    finished: t(0),
+                    execution: SimDuration::from_millis(50),
+                    violations: 0,
+                    inputs: 1,
+                },
+            );
+        }
+        // One patch with little budget left: ticking near its deadline
+        // must flush even though the batch target is 6.
+        let _ = p.on_arrival(t(0), Arrival::Patch(patch(1, 0, 300)));
+        let out = p.on_tick(t(250));
+        assert_eq!(out.dispatches.len(), 1);
+        assert_eq!(out.dispatches[0].inputs, 1);
+    }
+
+    #[test]
+    fn mark_timeout_flushes() {
+        let mut p = MarkPolicy::new(8, SimDuration::from_millis(200));
+        let out = p.on_arrival(t(0), Arrival::Patch(patch(1, 0, 2000)));
+        assert!(out.dispatches.is_empty());
+        assert_eq!(out.next_wake, Some(t(200)));
+        let fired = p.on_tick(t(200));
+        assert_eq!(fired.dispatches.len(), 1);
+        assert_eq!(fired.dispatches[0].inputs, 1);
+    }
+
+    #[test]
+    fn mark_batch_size_flushes_without_timeout() {
+        let mut p = MarkPolicy::new(3, SimDuration::from_secs(10));
+        let _ = p.on_arrival(t(0), Arrival::Patch(patch(1, 0, 60_000)));
+        let _ = p.on_arrival(t(1), Arrival::Patch(patch(2, 1, 60_000)));
+        let out = p.on_arrival(t(2), Arrival::Patch(patch(3, 2, 60_000)));
+        assert_eq!(out.dispatches.len(), 1);
+        assert_eq!(out.dispatches[0].inputs, 3);
+    }
+
+    #[test]
+    fn flush_empties_queues() {
+        let mut clipper = ClipperPolicy::new(8);
+        // Raise the AIMD target so an arrival stays queued.
+        let _ = clipper.on_completion(
+            t(0),
+            CompletionFeedback {
+                finished: t(0),
+                execution: SimDuration::from_millis(50),
+                violations: 0,
+                inputs: 1,
+            },
+        );
+        let _ = clipper.on_arrival(t(0), Arrival::Patch(patch(1, 0, 60_000)));
+        assert_eq!(clipper.flush(t(1)).dispatches.len(), 1);
+        assert!(clipper.flush(t(2)).dispatches.is_empty());
+
+        let mut mark = MarkPolicy::new(8, SimDuration::from_secs(1));
+        let _ = mark.on_arrival(t(0), Arrival::Patch(patch(1, 0, 60_000)));
+        assert_eq!(mark.flush(t(1)).dispatches.len(), 1);
+    }
+
+    #[test]
+    fn padded_inputs_cost_full_canvases() {
+        let mut p = MarkPolicy::new(2, SimDuration::from_secs(1));
+        let _ = p.on_arrival(t(0), Arrival::Patch(patch(1, 0, 60_000)));
+        let out = p.on_arrival(t(1), Arrival::Patch(patch(2, 1, 60_000)));
+        let mpx = out.dispatches[0].megapixels;
+        // Two padded 1024² inputs, even though the patches are small: this
+        // is the waste Tangram's stitching removes.
+        assert!((mpx - 2.0 * 1.048_576).abs() < 1e-9);
+    }
+}

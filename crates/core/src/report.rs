@@ -1,0 +1,339 @@
+//! Run reports: everything an experiment needs to print its table/figure.
+
+use serde::{Deserialize, Serialize};
+use tangram_net::LinkStats;
+use tangram_serverless::platform::PlatformStats;
+use tangram_sim::stats::EmpiricalCdf;
+use tangram_types::ids::{CameraId, FrameId, PatchId};
+use tangram_types::time::{SimDuration, SimTime};
+use tangram_types::units::{Bytes, Dollars};
+
+/// Per-patch end-to-end outcome.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PatchRecord {
+    /// Patch identity.
+    pub patch: PatchId,
+    /// Source camera.
+    pub camera: CameraId,
+    /// Source frame.
+    pub frame: FrameId,
+    /// Capture instant (SLO clock start).
+    pub generated_at: SimTime,
+    /// When the scheduler dispatched the batch containing it.
+    pub dispatched_at: SimTime,
+    /// When its results were ready.
+    pub finished_at: SimTime,
+    /// The SLO it was stamped with.
+    pub slo: SimDuration,
+}
+
+impl PatchRecord {
+    /// End-to-end latency (capture → result).
+    #[must_use]
+    pub fn latency(&self) -> SimDuration {
+        self.finished_at.since(self.generated_at)
+    }
+
+    /// Whether the SLO was violated.
+    #[must_use]
+    pub fn violated(&self) -> bool {
+        self.latency() > self.slo
+    }
+}
+
+/// Per-invocation outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchRecord {
+    /// When the batch was dispatched.
+    pub dispatched_at: SimTime,
+    /// Model inputs (canvases / padded patches / frames).
+    pub inputs: usize,
+    /// Patches bundled.
+    pub patch_count: usize,
+    /// Pure execution time.
+    pub execution: SimDuration,
+    /// Whether a cold start preceded it.
+    pub cold: bool,
+    /// Eqn. (1) cost.
+    pub cost: Dollars,
+    /// Canvas efficiencies (stitching policies only).
+    pub efficiencies: Vec<f64>,
+}
+
+/// The full outcome of one end-to-end run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Policy under test.
+    pub policy: String,
+    /// Per-patch outcomes.
+    pub patches: Vec<PatchRecord>,
+    /// Per-invocation outcomes.
+    pub batches: Vec<BatchRecord>,
+    /// Uplink counters.
+    pub link: LinkStats,
+    /// Platform counters.
+    pub platform: PlatformStats,
+    /// Frames injected.
+    pub frames: u64,
+    /// Total wire time spent transmitting (Fig. 14c's breakdown).
+    pub transmission_busy: SimDuration,
+    /// Simulated makespan of the run.
+    pub makespan: SimDuration,
+}
+
+impl RunReport {
+    /// Number of patches that completed.
+    #[must_use]
+    pub fn patches_completed(&self) -> usize {
+        self.patches.len()
+    }
+
+    /// Fraction of patches that missed their SLO.
+    #[must_use]
+    pub fn slo_violation_rate(&self) -> f64 {
+        if self.patches.is_empty() {
+            return 0.0;
+        }
+        self.patches.iter().filter(|p| p.violated()).count() as f64 / self.patches.len() as f64
+    }
+
+    /// Total Eqn. (1) cost.
+    #[must_use]
+    pub fn total_cost(&self) -> Dollars {
+        self.platform.total_cost
+    }
+
+    /// Total uplink bytes.
+    #[must_use]
+    pub fn total_bytes(&self) -> Bytes {
+        self.link.bytes
+    }
+
+    /// Mean end-to-end patch latency.
+    #[must_use]
+    pub fn mean_latency(&self) -> SimDuration {
+        if self.patches.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let total: f64 = self.patches.iter().map(|p| p.latency().as_secs_f64()).sum();
+        SimDuration::from_secs_f64(total / self.patches.len() as f64)
+    }
+
+    /// Latency quantile (`q` in `[0, 1]`).
+    #[must_use]
+    pub fn latency_quantile(&self, q: f64) -> SimDuration {
+        let mut cdf = EmpiricalCdf::new();
+        cdf.extend(self.patches.iter().map(|p| p.latency().as_secs_f64()));
+        SimDuration::from_secs_f64(cdf.quantile(q).unwrap_or(0.0))
+    }
+
+    /// All canvas efficiencies across batches (Fig. 10b / Fig. 13).
+    #[must_use]
+    pub fn canvas_efficiencies(&self) -> Vec<f64> {
+        self.batches
+            .iter()
+            .flat_map(|b| b.efficiencies.iter().copied())
+            .collect()
+    }
+
+    /// Mean patches per batch.
+    #[must_use]
+    pub fn mean_patches_per_batch(&self) -> f64 {
+        if self.batches.is_empty() {
+            return 0.0;
+        }
+        self.batches.iter().map(|b| b.patch_count as f64).sum::<f64>()
+            / self.batches.len() as f64
+    }
+
+    /// Total function execution time (Fig. 14c's second bar).
+    #[must_use]
+    pub fn total_execution(&self) -> SimDuration {
+        self.batches.iter().map(|b| b.execution).sum()
+    }
+
+    /// Amortised mean latency per patch within batches (Fig. 14's
+    /// amortisation insight: execution time divided by patches served).
+    #[must_use]
+    pub fn amortized_latency_per_patch(&self) -> SimDuration {
+        let patches: usize = self.batches.iter().map(|b| b.patch_count).sum();
+        if patches == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_secs_f64(self.total_execution().as_secs_f64() / patches as f64)
+    }
+
+    /// Per-patch records as CSV (header + one row per patch), for
+    /// downstream analysis/plotting.
+    #[must_use]
+    pub fn patches_csv(&self) -> String {
+        let mut out = String::from(
+            "patch,camera,frame,generated_us,dispatched_us,finished_us,latency_us,slo_us,violated\n",
+        );
+        for p in &self.patches {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{}\n",
+                p.patch.raw(),
+                p.camera.raw(),
+                p.frame.raw(),
+                p.generated_at.as_micros(),
+                p.dispatched_at.as_micros(),
+                p.finished_at.as_micros(),
+                p.latency().as_micros(),
+                p.slo.as_micros(),
+                p.violated()
+            ));
+        }
+        out
+    }
+
+    /// Per-batch records as CSV.
+    #[must_use]
+    pub fn batches_csv(&self) -> String {
+        let mut out = String::from(
+            "dispatched_us,inputs,patches,execution_us,cold,cost_usd,mean_efficiency\n",
+        );
+        for b in &self.batches {
+            let mean_eff = if b.efficiencies.is_empty() {
+                0.0
+            } else {
+                b.efficiencies.iter().sum::<f64>() / b.efficiencies.len() as f64
+            };
+            out.push_str(&format!(
+                "{},{},{},{},{},{:.9},{:.4}\n",
+                b.dispatched_at.as_micros(),
+                b.inputs,
+                b.patch_count,
+                b.execution.as_micros(),
+                b.cold,
+                b.cost.get(),
+                mean_eff
+            ));
+        }
+        out
+    }
+
+    /// One-line human summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<12} frames={:<4} patches={:<5} batches={:<5} cost={} viol={:.2}% mean_lat={} p99={} bytes={}",
+            self.policy,
+            self.frames,
+            self.patches_completed(),
+            self.batches.len(),
+            self.total_cost(),
+            self.slo_violation_rate() * 100.0,
+            self.mean_latency(),
+            self.latency_quantile(0.99),
+            self.total_bytes(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(gen_us: u64, fin_us: u64, slo_ms: u64) -> PatchRecord {
+        PatchRecord {
+            patch: PatchId::new(gen_us),
+            camera: CameraId::new(0),
+            frame: FrameId::new(0),
+            generated_at: SimTime::from_micros(gen_us),
+            dispatched_at: SimTime::from_micros(gen_us + 1),
+            finished_at: SimTime::from_micros(fin_us),
+            slo: SimDuration::from_millis(slo_ms),
+        }
+    }
+
+    fn report(patches: Vec<PatchRecord>) -> RunReport {
+        RunReport {
+            policy: "test".into(),
+            patches,
+            batches: vec![],
+            link: LinkStats::default(),
+            platform: PlatformStats::default(),
+            frames: 1,
+            transmission_busy: SimDuration::ZERO,
+            makespan: SimDuration::from_secs(1),
+        }
+    }
+
+    #[test]
+    fn violation_rate_counts_late_patches() {
+        let r = report(vec![
+            record(0, 500_000, 1000),   // on time
+            record(0, 1_500_000, 1000), // late
+        ]);
+        assert!((r.slo_violation_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_statistics() {
+        let r = report(vec![record(0, 100_000, 1000), record(0, 300_000, 1000)]);
+        assert_eq!(r.mean_latency(), SimDuration::from_millis(200));
+        assert_eq!(r.latency_quantile(1.0), SimDuration::from_millis(300));
+    }
+
+    #[test]
+    fn empty_report_is_sane() {
+        let r = report(vec![]);
+        assert_eq!(r.slo_violation_rate(), 0.0);
+        assert_eq!(r.mean_latency(), SimDuration::ZERO);
+        assert_eq!(r.amortized_latency_per_patch(), SimDuration::ZERO);
+        assert!(r.summary().contains("test"));
+    }
+
+    #[test]
+    fn csv_exports_are_well_formed() {
+        let mut r = report(vec![record(0, 500_000, 1000)]);
+        r.batches = vec![BatchRecord {
+            dispatched_at: SimTime::ZERO,
+            inputs: 2,
+            patch_count: 3,
+            execution: SimDuration::from_millis(80),
+            cold: false,
+            cost: Dollars::new(0.0001),
+            efficiencies: vec![0.5, 0.7],
+        }];
+        let pc = r.patches_csv();
+        assert_eq!(pc.lines().count(), 2);
+        assert!(pc.lines().nth(1).unwrap().ends_with("false"));
+        let bc = r.batches_csv();
+        assert_eq!(bc.lines().count(), 2);
+        assert!(bc.contains("0.6000"), "mean efficiency column: {bc}");
+    }
+
+    #[test]
+    fn batch_aggregates() {
+        let mut r = report(vec![]);
+        r.batches = vec![
+            BatchRecord {
+                dispatched_at: SimTime::ZERO,
+                inputs: 2,
+                patch_count: 10,
+                execution: SimDuration::from_millis(100),
+                cold: true,
+                cost: Dollars::new(0.001),
+                efficiencies: vec![0.7, 0.8],
+            },
+            BatchRecord {
+                dispatched_at: SimTime::ZERO,
+                inputs: 1,
+                patch_count: 5,
+                execution: SimDuration::from_millis(50),
+                cold: false,
+                cost: Dollars::new(0.0005),
+                efficiencies: vec![0.6],
+            },
+        ];
+        assert_eq!(r.canvas_efficiencies(), vec![0.7, 0.8, 0.6]);
+        assert!((r.mean_patches_per_batch() - 7.5).abs() < 1e-12);
+        assert_eq!(r.total_execution(), SimDuration::from_millis(150));
+        assert_eq!(
+            r.amortized_latency_per_patch(),
+            SimDuration::from_millis(10)
+        );
+    }
+}

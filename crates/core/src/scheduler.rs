@@ -1,0 +1,423 @@
+//! The online SLO-aware batching invoker — Algorithm 2 of the paper.
+//!
+//! State: a queue `Q` of pending patches and its current stitching `C`
+//! (a set of canvases). On every patch arrival the scheduler
+//!
+//! 1. appends the patch to `Q`, takes the earliest deadline
+//!    `t_DDL = min t_ddl_i`, saves the previous canvases `C_old`;
+//! 2. re-stitches `Q` with the Patch-stitching Solver and asks the
+//!    Latency Estimator for the conservative execution bound
+//!    `T_slack = µ + 3σ` of the new canvas set;
+//! 3. computes the invoke-by instant `t_remain = t_DDL − T_slack`;
+//! 4. if `t_remain` is already in the past — adding this patch would
+//!    break the SLO — or the canvases no longer fit the function's GPU
+//!    memory (constraint (5)), it dispatches `C_old` immediately and
+//!    restarts the queue with just the new patch;
+//! 5. otherwise it (re-)arms a timer for `t_remain`; when the clock
+//!    reaches it, the whole canvas set dispatches as one batch.
+//!
+//! The scheduler is a pure state machine (no IO, no clock reads): both
+//! the discrete-event engine and the live threaded runtime drive it with
+//! explicit times, which makes Algorithm 2 directly unit-testable.
+
+use crate::policy::{Arrival, BatchSpec, BatchingPolicy, PolicyOutput};
+use tangram_infer::estimator::LatencyEstimator;
+use tangram_stitch::canvas::Canvas;
+use tangram_stitch::solver::{split_to_fit, PatchStitchingSolver};
+use tangram_types::geometry::Size;
+use tangram_types::patch::PatchInfo;
+use tangram_types::time::SimTime;
+
+/// Static configuration of the Tangram scheduler.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Canvas extent `M × N` (the paper evaluates 1024×1024).
+    pub canvas_size: Size,
+    /// Maximum canvases one invocation may carry (constraint (5):
+    /// `w·Σy + τ ≤ m_G`).
+    pub max_canvases: usize,
+}
+
+impl SchedulerConfig {
+    /// The paper's defaults: 1024×1024 canvases, batch bound from the
+    /// 6 GB-GPU function spec (9 canvases).
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            canvas_size: Size::CANVAS_1024,
+            max_canvases: 9,
+        }
+    }
+}
+
+/// The Tangram scheduler (Algorithm 2).
+pub struct TangramScheduler {
+    config: SchedulerConfig,
+    solver: PatchStitchingSolver,
+    estimator: LatencyEstimator,
+    /// The pending queue `Q`.
+    queue: Vec<PatchInfo>,
+    /// Current stitching `C` of `queue`.
+    canvases: Vec<Canvas>,
+    /// Armed invoke-by instant (`t_remain`), if any.
+    invoke_by: Option<SimTime>,
+}
+
+impl TangramScheduler {
+    /// Creates a scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the estimator was profiled for a different canvas size,
+    /// or `max_canvases` is zero.
+    #[must_use]
+    pub fn new(config: SchedulerConfig, estimator: LatencyEstimator) -> Self {
+        assert!(config.max_canvases > 0, "need at least one canvas per batch");
+        assert_eq!(
+            estimator.canvas(),
+            config.canvas_size,
+            "estimator profiled for a different canvas size"
+        );
+        let solver = PatchStitchingSolver::new(config.canvas_size);
+        Self {
+            config,
+            solver,
+            estimator,
+            queue: Vec::new(),
+            canvases: Vec::new(),
+            invoke_by: None,
+        }
+    }
+
+    /// The scheduler configuration.
+    #[must_use]
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// Current queue length (pending patches).
+    #[must_use]
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Current number of open canvases.
+    #[must_use]
+    pub fn open_canvases(&self) -> usize {
+        self.canvases.len()
+    }
+
+    /// The armed invoke-by instant, if a batch is pending.
+    #[must_use]
+    pub fn invoke_by(&self) -> Option<SimTime> {
+        self.invoke_by
+    }
+
+    /// Accepts one patch at `now` (Algorithm 2, lines 4–18). Oversized
+    /// patches (zone rectangles larger than the canvas) are pre-split into
+    /// canvas-sized tiles that share the original deadline.
+    pub fn on_patch(&mut self, now: SimTime, patch: PatchInfo) -> PolicyOutput {
+        let mut out = PolicyOutput::idle();
+        for tile in self.normalize(patch) {
+            self.admit(now, tile, &mut out);
+        }
+        out.next_wake = self.invoke_by;
+        out
+    }
+
+    /// Timer fired (line 19: `t = t_remain`). Spurious ticks are ignored.
+    pub fn on_timer(&mut self, now: SimTime) -> PolicyOutput {
+        match self.invoke_by {
+            Some(t) if now >= t && !self.queue.is_empty() => {
+                let batch = self.take_batch();
+                PolicyOutput::dispatch(batch)
+            }
+            _ => {
+                let mut out = PolicyOutput::idle();
+                out.next_wake = self.invoke_by;
+                out
+            }
+        }
+    }
+
+    /// Dispatches whatever is queued (end of stream).
+    pub fn drain(&mut self) -> PolicyOutput {
+        if self.queue.is_empty() {
+            return PolicyOutput::idle();
+        }
+        PolicyOutput::dispatch(self.take_batch())
+    }
+
+    fn normalize(&self, patch: PatchInfo) -> Vec<PatchInfo> {
+        if self.config.canvas_size.fits(patch.rect.size()) {
+            return vec![patch];
+        }
+        split_to_fit(patch.rect, self.config.canvas_size)
+            .into_iter()
+            .map(|rect| PatchInfo { rect, ..patch })
+            .collect()
+    }
+
+    fn admit(&mut self, now: SimTime, patch: PatchInfo, out: &mut PolicyOutput) {
+        // Lines 5–10: append, re-stitch, re-estimate.
+        self.queue.push(patch);
+        let canvases = self
+            .solver
+            .stitch(&self.queue)
+            .expect("patches were normalised to fit the canvas");
+        let t_ddl = canvases
+            .iter()
+            .filter_map(Canvas::earliest_deadline)
+            .min()
+            .expect("queue is non-empty");
+        let slack = self.estimator.slack_for(canvases.len());
+        let invoke_by = if t_ddl.since(SimTime::ZERO) > slack {
+            t_ddl - slack
+        } else {
+            SimTime::ZERO
+        };
+
+        let over_memory = canvases.len() > self.config.max_canvases;
+        let too_late = invoke_by <= now;
+
+        if (over_memory || too_late) && self.queue.len() > 1 {
+            // Lines 11–17: dispatch C_old and restart with this patch.
+            let new_patch = self.queue.pop().expect("just pushed");
+            let batch = self.take_batch();
+            out.dispatches.push(batch);
+            self.queue.push(new_patch);
+            let canvases = self
+                .solver
+                .stitch(&self.queue)
+                .expect("single patch fits a canvas");
+            let t_ddl = canvases
+                .iter()
+                .filter_map(Canvas::earliest_deadline)
+                .min()
+                .expect("one patch queued");
+            let slack = self.estimator.slack_for(canvases.len());
+            let invoke_by = if t_ddl.since(SimTime::ZERO) > slack {
+                t_ddl - slack
+            } else {
+                SimTime::ZERO
+            };
+            self.canvases = canvases;
+            if invoke_by <= now {
+                // Even alone the patch cannot meet its SLO; sending it
+                // immediately minimises the overrun.
+                let batch = self.take_batch();
+                out.dispatches.push(batch);
+            } else {
+                self.invoke_by = Some(invoke_by);
+            }
+        } else {
+            self.canvases = canvases;
+            if too_late {
+                // Single queued patch that can no longer make it: ship now.
+                let batch = self.take_batch();
+                out.dispatches.push(batch);
+            } else {
+                self.invoke_by = Some(invoke_by);
+            }
+        }
+    }
+
+    /// Builds the dispatch for the current canvases and clears the state.
+    fn take_batch(&mut self) -> BatchSpec {
+        let patches = std::mem::take(&mut self.queue);
+        let canvases = std::mem::take(&mut self.canvases);
+        self.invoke_by = None;
+        let inputs = canvases.len();
+        let megapixels = inputs as f64 * self.config.canvas_size.megapixels();
+        BatchSpec {
+            patches,
+            inputs,
+            megapixels,
+            canvas_efficiencies: canvases.iter().map(Canvas::efficiency).collect(),
+        }
+    }
+}
+
+impl BatchingPolicy for TangramScheduler {
+    fn name(&self) -> &'static str {
+        "Tangram"
+    }
+
+    fn on_arrival(&mut self, now: SimTime, arrival: Arrival) -> PolicyOutput {
+        match arrival {
+            Arrival::Patch(p) => self.on_patch(now, p.info),
+            Arrival::Frame(f) => {
+                // Tangram never receives whole frames, but handle it
+                // gracefully: treat as one oversized patch.
+                self.on_patch(now, f.info)
+            }
+        }
+    }
+
+    fn on_tick(&mut self, now: SimTime) -> PolicyOutput {
+        self.on_timer(now)
+    }
+
+    fn flush(&mut self, _now: SimTime) -> PolicyOutput {
+        self.drain()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tangram_infer::latency::InferenceLatencyModel;
+    use tangram_types::geometry::Rect;
+    use tangram_types::ids::{CameraId, FrameId, PatchId};
+    use tangram_types::time::SimDuration;
+
+    fn scheduler() -> TangramScheduler {
+        let estimator = LatencyEstimator::paper_default(
+            &InferenceLatencyModel::rtx4090_yolov8x(),
+            Size::CANVAS_1024,
+            9,
+        );
+        TangramScheduler::new(SchedulerConfig::paper_default(), estimator)
+    }
+
+    fn patch(id: u64, w: u32, h: u32, gen_ms: u64, slo_ms: u64) -> PatchInfo {
+        PatchInfo::new(
+            PatchId::new(id),
+            CameraId::new(0),
+            FrameId::new(0),
+            Rect::new(0, 0, w, h),
+            SimTime::from_micros(gen_ms * 1000),
+            SimDuration::from_millis(slo_ms),
+        )
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_micros(ms * 1000)
+    }
+
+    #[test]
+    fn patch_waits_until_invoke_by() {
+        let mut s = scheduler();
+        let out = s.on_patch(t(0), patch(1, 300, 300, 0, 1000));
+        assert!(out.dispatches.is_empty(), "plenty of budget: wait");
+        let invoke_by = out.next_wake.expect("timer armed");
+        // t_remain = deadline (1 s) − slack(1 canvas) ≈ 1 s − ~0.1 s.
+        assert!(invoke_by > t(700) && invoke_by < t(1000), "invoke_by {invoke_by}");
+        assert_eq!(s.queue_len(), 1);
+    }
+
+    #[test]
+    fn timer_dispatches_batch() {
+        let mut s = scheduler();
+        let _ = s.on_patch(t(0), patch(1, 300, 300, 0, 1000));
+        let _ = s.on_patch(t(10), patch(2, 400, 200, 10, 1000));
+        let invoke_by = s.invoke_by().unwrap();
+        // Early tick: nothing.
+        let early = s.on_timer(t(100));
+        assert!(early.dispatches.is_empty());
+        // On-time tick: everything in one batch.
+        let fire = s.on_timer(invoke_by);
+        assert_eq!(fire.dispatches.len(), 1);
+        let batch = &fire.dispatches[0];
+        assert_eq!(batch.patch_count(), 2);
+        assert_eq!(batch.inputs, 1, "two small patches share a canvas");
+        assert!(!batch.canvas_efficiencies.is_empty());
+        assert_eq!(s.queue_len(), 0);
+    }
+
+    #[test]
+    fn deadline_is_min_across_patches() {
+        let mut s = scheduler();
+        let _ = s.on_patch(t(0), patch(1, 300, 300, 0, 2000)); // lax
+        let lax_invoke = s.invoke_by().unwrap();
+        let _ = s.on_patch(t(1), patch(2, 300, 300, 1, 500)); // tight
+        let tight_invoke = s.invoke_by().unwrap();
+        assert!(
+            tight_invoke < lax_invoke,
+            "earliest deadline governs: {tight_invoke} vs {lax_invoke}"
+        );
+    }
+
+    #[test]
+    fn late_patch_flushes_old_queue_first() {
+        let mut s = scheduler();
+        let _ = s.on_patch(t(0), patch(1, 300, 300, 0, 1000));
+        // This patch's deadline is nearly exhausted: stitching it with the
+        // queue would violate, so the old canvas set dispatches and the new
+        // patch forms the next queue (lines 11–17)… and since it cannot
+        // make its own deadline either, it ships immediately too.
+        let out = s.on_patch(t(900), patch(2, 300, 300, 0, 950));
+        assert_eq!(out.dispatches.len(), 2);
+        assert_eq!(out.dispatches[0].patches[0].id, PatchId::new(1));
+        assert_eq!(out.dispatches[1].patches[0].id, PatchId::new(2));
+        assert_eq!(s.queue_len(), 0);
+    }
+
+    #[test]
+    fn late_patch_with_budget_restarts_queue() {
+        let mut s = scheduler();
+        let _ = s.on_patch(t(0), patch(1, 300, 300, 0, 1000));
+        // Arrives late enough that batching with patch 1 is unsafe (its
+        // invoke-by ≈ 1000 ms − slack ≈ 890 ms has passed), but fresh
+        // enough to wait on its own.
+        let out = s.on_patch(t(900), patch(2, 300, 300, 890, 1000));
+        assert_eq!(out.dispatches.len(), 1, "old queue dispatches");
+        assert_eq!(s.queue_len(), 1, "new patch starts the next queue");
+        assert!(s.invoke_by().is_some());
+    }
+
+    #[test]
+    fn gpu_memory_bound_forces_dispatch() {
+        let mut s = scheduler();
+        // 9 huge patches fill nine canvases (the paper's GPU bound).
+        for i in 0..9 {
+            let out = s.on_patch(t(i), patch(i, 1000, 1000, i, 60_000));
+            assert!(out.dispatches.is_empty(), "patch {i} fits the bound");
+        }
+        assert_eq!(s.open_canvases(), 9);
+        // The tenth would need a tenth canvas -> C_old dispatches.
+        let out = s.on_patch(t(9), patch(9, 1000, 1000, 9, 60_000));
+        assert_eq!(out.dispatches.len(), 1);
+        assert_eq!(out.dispatches[0].inputs, 9);
+        assert_eq!(s.queue_len(), 1, "new patch begins the next batch");
+    }
+
+    #[test]
+    fn oversized_patch_is_tiled() {
+        let mut s = scheduler();
+        // A 2000×1500 zone patch cannot fit a 1024² canvas: 2×2 tiles.
+        let out = s.on_patch(t(0), patch(1, 2000, 1500, 0, 5000));
+        assert!(out.dispatches.is_empty());
+        assert_eq!(s.queue_len(), 4);
+    }
+
+    #[test]
+    fn drain_flushes_queue() {
+        let mut s = scheduler();
+        let _ = s.on_patch(t(0), patch(1, 200, 200, 0, 10_000));
+        let out = s.drain();
+        assert_eq!(out.dispatches.len(), 1);
+        assert_eq!(s.queue_len(), 0);
+        assert!(s.drain().dispatches.is_empty(), "second drain is a no-op");
+    }
+
+    #[test]
+    fn spurious_timer_is_harmless() {
+        let mut s = scheduler();
+        let out = s.on_timer(t(50));
+        assert!(out.dispatches.is_empty());
+        assert_eq!(out.next_wake, None);
+    }
+
+    #[test]
+    fn efficiency_reported_per_canvas() {
+        let mut s = scheduler();
+        let _ = s.on_patch(t(0), patch(1, 512, 512, 0, 2000));
+        let _ = s.on_patch(t(1), patch(2, 512, 512, 1, 2000));
+        let out = s.drain();
+        let batch = &out.dispatches[0];
+        assert_eq!(batch.canvas_efficiencies.len(), batch.inputs);
+        let eff = batch.canvas_efficiencies[0];
+        assert!((eff - 0.5).abs() < 1e-9, "two 512² patches on 1024²: {eff}");
+    }
+}

@@ -1,0 +1,43 @@
+//! Inference substrate: latency and accuracy models plus AP evaluation.
+//!
+//! The paper serves a Yolov8x detector from GPU serverless functions. No
+//! GPU exists in this environment, so inference is modelled by two
+//! calibrated components:
+//!
+//! * [`latency`] — batch execution time as an affine function of the
+//!   pixels processed, with lognormal noise; profiles are calibrated to
+//!   the paper's measurements (Fig. 2b, Fig. 8, Fig. 14a);
+//! * [`estimator`] — the paper's offline **Latency Estimator**: profile
+//!   every batch size for 1000 iterations and use `T_slack = µ + 3σ`
+//!   (Eqn. 9) as the conservative execution-time bound;
+//! * [`accuracy`] — a detection simulator whose per-object recall follows
+//!   a calibrated curve in the object's *presented* pixel area,
+//!   reproducing the resolution–accuracy trade-off of Fig. 4b, with
+//!   confidence scores, box jitter and false positives;
+//! * [`ap`] — a standard AP@0.5 evaluator (confidence-ordered greedy
+//!   matching, interpolated precision envelope), the metric of Tables
+//!   III/IV and Figs. 2a/4b.
+//!
+//! # Example
+//!
+//! ```
+//! use tangram_infer::latency::InferenceLatencyModel;
+//! use tangram_sim::rng::DetRng;
+//!
+//! let model = InferenceLatencyModel::rtx4090_yolov8x();
+//! let mut rng = DetRng::new(1);
+//! // One 1024×1024 canvas ≈ 1.05 Mpx.
+//! let t = model.sample(1.05, &mut rng);
+//! assert!(t.as_millis() > 30 && t.as_millis() < 250);
+//! ```
+
+pub mod accuracy;
+pub mod ap;
+pub mod estimator;
+pub mod latency;
+
+pub use accuracy::{DetectionSimulator, PresentedObject, ResolutionProfile};
+pub use ap::Detection;
+pub use ap::{average_precision, FrameEval};
+pub use estimator::LatencyEstimator;
+pub use latency::InferenceLatencyModel;

@@ -1,0 +1,33 @@
+//! Adaptive frame partitioning — Algorithm 1 of the paper.
+//!
+//! The edge divides each frame into `X × Y` zones, affiliates every RoI
+//! with the zone it overlaps most, resizes each non-empty zone to the
+//! minimum enclosing rectangle of its RoIs, and cuts those rectangles out
+//! as *patches*. Patches preserve nearby/overflowing objects that raw RoI
+//! cropping would lose, while discarding the background that dominates
+//! high-resolution frames (Table I: RoIs are < 10% of most frames).
+//!
+//! [`algorithm`] implements the partitioning itself; [`pipeline`] wraps an
+//! RoI extractor + partitioning + SLO stamping into the complete edge-side
+//! pipeline that feeds the cloud scheduler.
+//!
+//! # Example
+//!
+//! ```
+//! use tangram_partition::algorithm::{partition, PartitionConfig};
+//! use tangram_types::geometry::{Rect, Size};
+//!
+//! let rois = vec![Rect::new(100, 100, 50, 80), Rect::new(2000, 1200, 60, 90)];
+//! let patches = partition(Size::UHD_4K, PartitionConfig::new(4, 4), &rois);
+//! assert_eq!(patches.len(), 2);
+//! // Every RoI is fully contained in some patch.
+//! for roi in &rois {
+//!     assert!(patches.iter().any(|p| p.contains_rect(roi)));
+//! }
+//! ```
+
+pub mod algorithm;
+pub mod pipeline;
+
+pub use algorithm::{partition, partition_detailed, PartitionConfig, ZonePatch};
+pub use pipeline::{EdgePipeline, EdgePipelineConfig, FrameOutput};

@@ -1,0 +1,427 @@
+//! The event-driven instance pool.
+//!
+//! Invocations arrive with a submission time; the platform routes each to
+//! an idle warm instance (load-balanced), or cold-starts a new instance
+//! when none is free — serverless scale-out on demand. Instances expire
+//! after a keep-alive window of idleness. Execution time is sampled from
+//! the inference latency model, and every invocation is billed with
+//! Eqn. (1).
+
+use crate::function::FunctionSpec;
+use crate::lb::{LoadBalancer, RoundRobin};
+use crate::pricing::ResourcePrices;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use tangram_infer::latency::InferenceLatencyModel;
+use tangram_sim::rng::DetRng;
+use tangram_types::ids::{InstanceId, InvocationId};
+use tangram_types::time::{SimDuration, SimTime};
+use tangram_types::units::Dollars;
+
+/// A batch submitted for execution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InvocationRequest {
+    /// Number of canvases in the batch (bounded by constraint (5)).
+    pub canvases: usize,
+    /// Total pixels of the batch in megapixels (drives execution time).
+    pub megapixels: f64,
+    /// When the scheduler dispatched the batch.
+    pub submitted: SimTime,
+}
+
+/// The result of one invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InvocationOutcome {
+    /// Invocation identity.
+    pub id: InvocationId,
+    /// Instance that served it.
+    pub instance: InstanceId,
+    /// Whether a cold start preceded execution.
+    pub cold: bool,
+    /// When execution began (submission + queueing + cold start).
+    pub started: SimTime,
+    /// When results were ready.
+    pub finished: SimTime,
+    /// Pure execution time (the billed duration's basis).
+    pub execution: SimDuration,
+    /// Eqn. (1) cost of this invocation.
+    pub cost: Dollars,
+}
+
+/// Why an invocation was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlatformError {
+    /// The batch needs more GPU memory than one instance has
+    /// (constraint (5)); the scheduler must split it.
+    BatchTooLarge {
+        /// Canvases requested.
+        requested: usize,
+        /// Canvases an instance can hold.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::BatchTooLarge {
+                requested,
+                capacity,
+            } => write!(
+                f,
+                "batch of {requested} canvases exceeds instance capacity {capacity}"
+            ),
+        }
+    }
+}
+
+impl Error for PlatformError {}
+
+#[derive(Debug, Clone)]
+struct Instance {
+    id: InstanceId,
+    busy_until: SimTime,
+    expires_at: SimTime,
+    invocations: u64,
+}
+
+/// Aggregate platform statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PlatformStats {
+    /// Invocations served.
+    pub invocations: u64,
+    /// Cold starts among them.
+    pub cold_starts: u64,
+    /// Total execution time across instances.
+    pub busy_time: SimDuration,
+    /// Total Eqn. (1) cost.
+    pub total_cost: Dollars,
+    /// Peak number of simultaneously live instances.
+    pub peak_instances: usize,
+}
+
+/// The serverless backend.
+pub struct ServerlessPlatform {
+    spec: FunctionSpec,
+    prices: ResourcePrices,
+    model: InferenceLatencyModel,
+    balancer: Box<dyn LoadBalancer>,
+    /// Keep-alive window before an idle instance is reclaimed.
+    pub keep_alive: SimDuration,
+    /// Mean cold-start delay (lognormal-sampled; §I: "tens of
+    /// milliseconds" for a pre-provisioned GPU runtime).
+    pub cold_start_mean: SimDuration,
+    /// Physical capacity cap: at most this many simultaneous instances
+    /// (the paper's testbed hosts ~8 six-GB functions on two 24-GB
+    /// RTX 4090s). `None` = unlimited scale-out. Requests beyond the cap
+    /// queue on the earliest-free instance.
+    pub max_instances: Option<usize>,
+    instances: Vec<Instance>,
+    next_instance: InstanceId,
+    next_invocation: InvocationId,
+    stats: PlatformStats,
+    rng: DetRng,
+}
+
+impl ServerlessPlatform {
+    /// Creates a platform with the paper's defaults: Alibaba FC pricing,
+    /// round-robin balancing, 60 s keep-alive, ~60 ms cold starts.
+    #[must_use]
+    pub fn new(spec: FunctionSpec, model: InferenceLatencyModel, seed: u64) -> Self {
+        Self {
+            spec,
+            prices: ResourcePrices::alibaba_fc(),
+            model,
+            balancer: Box::new(RoundRobin::default()),
+            keep_alive: SimDuration::from_secs(60),
+            cold_start_mean: SimDuration::from_millis(60),
+            max_instances: Some(8),
+            instances: Vec::new(),
+            next_instance: InstanceId::default(),
+            next_invocation: InvocationId::default(),
+            stats: PlatformStats::default(),
+            rng: DetRng::new(seed).fork("serverless"),
+        }
+    }
+
+    /// Replaces the load balancer.
+    #[must_use]
+    pub fn with_balancer(mut self, balancer: Box<dyn LoadBalancer>) -> Self {
+        self.balancer = balancer;
+        self
+    }
+
+    /// Replaces the price table.
+    #[must_use]
+    pub fn with_prices(mut self, prices: ResourcePrices) -> Self {
+        self.prices = prices;
+        self
+    }
+
+    /// The function spec in force.
+    #[must_use]
+    pub fn spec(&self) -> &FunctionSpec {
+        &self.spec
+    }
+
+    /// Aggregate statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> PlatformStats {
+        self.stats
+    }
+
+    /// Number of instances currently provisioned (warm or busy).
+    #[must_use]
+    pub fn live_instances(&self, now: SimTime) -> usize {
+        self.instances
+            .iter()
+            .filter(|i| i.busy_until > now || i.expires_at > now)
+            .count()
+    }
+
+    /// Executes a batch.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::BatchTooLarge`] when the batch violates the GPU
+    /// memory bound (constraint (5)).
+    pub fn invoke(
+        &mut self,
+        request: InvocationRequest,
+    ) -> Result<InvocationOutcome, PlatformError> {
+        let capacity = self.spec.max_canvases();
+        if request.canvases > capacity {
+            return Err(PlatformError::BatchTooLarge {
+                requested: request.canvases,
+                capacity,
+            });
+        }
+        let now = request.submitted;
+        // Reap expired idle instances.
+        self.instances
+            .retain(|i| i.busy_until > now || i.expires_at > now);
+
+        // Idle warm instances, balanced.
+        let idle: Vec<InstanceId> = self
+            .instances
+            .iter()
+            .filter(|i| i.busy_until <= now && i.expires_at > now)
+            .map(|i| i.id)
+            .collect();
+        let loads: Vec<u64> = idle
+            .iter()
+            .map(|id| {
+                self.instances
+                    .iter()
+                    .find(|i| i.id == *id)
+                    .map_or(0, |i| i.invocations)
+            })
+            .collect();
+
+        let (instance_idx, cold, started) = match self.balancer.pick(&idle, &loads) {
+            Some(chosen) => {
+                let idx = self
+                    .instances
+                    .iter()
+                    .position(|i| i.id == chosen)
+                    .expect("balancer picked a live instance");
+                (idx, false, now)
+            }
+            None if self
+                .max_instances
+                .is_none_or(|cap| self.instances.len() < cap) =>
+            {
+                // Scale out: cold-start a fresh instance.
+                let delay = self.sample_cold_start();
+                let id = self.next_instance.bump();
+                self.instances.push(Instance {
+                    id,
+                    busy_until: now,
+                    expires_at: now + self.keep_alive,
+                    invocations: 0,
+                });
+                (self.instances.len() - 1, true, now + delay)
+            }
+            None => {
+                // Capacity cap: queue on the earliest-free instance.
+                let idx = self
+                    .instances
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, i)| i.busy_until)
+                    .map(|(i, _)| i)
+                    .expect("cap > 0 implies at least one instance");
+                let start = self.instances[idx].busy_until.max(now);
+                (idx, false, start)
+            }
+        };
+
+        let execution = self.model.sample(request.megapixels, &mut self.rng);
+        let finished = started + execution;
+        let cost = self.prices.invocation_cost(execution, &self.spec);
+
+        let inst = &mut self.instances[instance_idx];
+        inst.busy_until = finished;
+        inst.expires_at = finished + self.keep_alive;
+        inst.invocations += 1;
+
+        self.stats.invocations += 1;
+        if cold {
+            self.stats.cold_starts += 1;
+        }
+        self.stats.busy_time += execution;
+        self.stats.total_cost += cost;
+        self.stats.peak_instances = self.stats.peak_instances.max(self.instances.len());
+
+        Ok(InvocationOutcome {
+            id: self.next_invocation.bump(),
+            instance: self.instances[instance_idx].id,
+            cold,
+            started,
+            finished,
+            execution,
+            cost,
+        })
+    }
+
+    fn sample_cold_start(&mut self) -> SimDuration {
+        let mean = self.cold_start_mean.as_secs_f64();
+        // Lognormal with mean ≈ cold_start_mean and a fat-ish tail.
+        let sigma = 0.35f64;
+        SimDuration::from_secs_f64(
+            self.rng.lognormal(mean.ln() - sigma * sigma / 2.0, sigma),
+        )
+    }
+}
+
+impl fmt::Debug for ServerlessPlatform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServerlessPlatform")
+            .field("spec", &self.spec)
+            .field("instances", &self.instances.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn platform() -> ServerlessPlatform {
+        ServerlessPlatform::new(
+            FunctionSpec::paper_default(),
+            InferenceLatencyModel::rtx4090_yolov8x(),
+            7,
+        )
+    }
+
+    fn req(canvases: usize, at_us: u64) -> InvocationRequest {
+        InvocationRequest {
+            canvases,
+            megapixels: canvases as f64 * 1.05,
+            submitted: SimTime::from_micros(at_us),
+        }
+    }
+
+    #[test]
+    fn first_invocation_cold_starts() {
+        let mut p = platform();
+        let o = p.invoke(req(1, 0)).unwrap();
+        assert!(o.cold);
+        assert!(o.started > SimTime::ZERO, "cold start delays execution");
+        assert_eq!(p.stats().cold_starts, 1);
+    }
+
+    #[test]
+    fn warm_instance_reused() {
+        let mut p = platform();
+        let first = p.invoke(req(1, 0)).unwrap();
+        // Submit after the first finishes: instance is warm and idle.
+        let second = p
+            .invoke(req(1, first.finished.as_micros() + 1000))
+            .unwrap();
+        assert!(!second.cold);
+        assert_eq!(second.instance, first.instance);
+        assert_eq!(second.started, second.finished - second.execution);
+    }
+
+    #[test]
+    fn concurrency_one_scales_out() {
+        let mut p = platform();
+        let a = p.invoke(req(1, 0)).unwrap();
+        // Same submission time: first instance is busy → second cold start.
+        let b = p.invoke(req(1, 0)).unwrap();
+        assert!(b.cold);
+        assert_ne!(a.instance, b.instance);
+        assert_eq!(p.stats().peak_instances, 2);
+    }
+
+    #[test]
+    fn keep_alive_expiry_forces_cold_start() {
+        let mut p = platform();
+        let first = p.invoke(req(1, 0)).unwrap();
+        let after_expiry =
+            first.finished + p.keep_alive + SimDuration::from_secs(1);
+        let second = p.invoke(req(1, after_expiry.as_micros())).unwrap();
+        assert!(second.cold, "keep-alive elapsed; must cold start");
+    }
+
+    #[test]
+    fn batch_too_large_rejected() {
+        let mut p = platform();
+        let capacity = p.spec().max_canvases();
+        let err = p.invoke(req(capacity + 1, 0)).unwrap_err();
+        assert_eq!(
+            err,
+            PlatformError::BatchTooLarge {
+                requested: capacity + 1,
+                capacity
+            }
+        );
+        assert!(err.to_string().contains("exceeds instance capacity"));
+    }
+
+    #[test]
+    fn cost_accumulates_with_eqn1() {
+        let mut p = platform();
+        let o = p.invoke(req(2, 0)).unwrap();
+        let expected = ResourcePrices::alibaba_fc()
+            .invocation_cost(o.execution, &FunctionSpec::paper_default());
+        assert!((o.cost.get() - expected.get()).abs() < 1e-12);
+        assert!((p.stats().total_cost.get() - o.cost.get()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bigger_batches_run_longer_but_amortize() {
+        let mut p = platform();
+        let small = p.invoke(req(1, 0)).unwrap();
+        let big = p.invoke(req(8, 10_000_000)).unwrap();
+        assert!(big.execution > small.execution);
+        let per_canvas_small = small.execution.as_secs_f64();
+        let per_canvas_big = big.execution.as_secs_f64() / 8.0;
+        assert!(
+            per_canvas_big < per_canvas_small,
+            "batching must amortize the base cost"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = platform();
+        let mut b = platform();
+        let oa = a.invoke(req(3, 0)).unwrap();
+        let ob = b.invoke(req(3, 0)).unwrap();
+        assert_eq!(oa, ob);
+    }
+
+    #[test]
+    fn live_instance_count_reflects_expiry() {
+        let mut p = platform();
+        let o = p.invoke(req(1, 0)).unwrap();
+        assert_eq!(p.live_instances(o.finished), 1);
+        let far = o.finished + p.keep_alive + SimDuration::from_secs(5);
+        assert_eq!(p.live_instances(far), 0);
+    }
+}

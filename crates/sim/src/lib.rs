@@ -1,0 +1,37 @@
+//! Deterministic discrete-event simulation kernel.
+//!
+//! Everything in the Tangram reproduction runs on simulated time so that a
+//! `(configuration, seed)` pair reproduces an experiment bit-for-bit:
+//!
+//! * [`event::EventQueue`] — a time-ordered queue with stable FIFO
+//!   tie-breaking, the heart of the end-to-end engine;
+//! * [`clock`] — the [`clock::Clock`] abstraction shared by the simulated
+//!   and the live (threaded) runtime;
+//! * [`rng::DetRng`] — seeded, forkable random streams with the handful of
+//!   distributions the substrates need (normal, lognormal, Poisson,
+//!   exponential) implemented locally so no extra crates are required;
+//! * [`stats`] — online statistics, histograms, and empirical CDFs used by
+//!   every experiment to report exactly the series the paper plots.
+//!
+//! # Example
+//!
+//! ```
+//! use tangram_sim::event::EventQueue;
+//! use tangram_types::time::SimTime;
+//!
+//! let mut q = EventQueue::new();
+//! q.push(SimTime::from_micros(20), "second");
+//! q.push(SimTime::from_micros(10), "first");
+//! assert_eq!(q.pop(), Some((SimTime::from_micros(10), "first")));
+//! assert_eq!(q.pop(), Some((SimTime::from_micros(20), "second")));
+//! ```
+
+pub mod clock;
+pub mod event;
+pub mod rng;
+pub mod stats;
+
+pub use clock::{Clock, ManualClock};
+pub use event::EventQueue;
+pub use rng::DetRng;
+pub use stats::{EmpiricalCdf, Histogram, OnlineStats, TimeSeries};

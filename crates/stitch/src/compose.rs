@@ -1,0 +1,139 @@
+//! Coordinate mapping between canvas space and source frames.
+//!
+//! Detections come back from the model in *canvas* coordinates; the
+//! scheduler must project them into the originating camera's frame. The
+//! mapping is lossless because stitching never resizes patches.
+
+use crate::canvas::Canvas;
+use tangram_types::geometry::Rect;
+use tangram_types::ids::{CameraId, FrameId};
+use tangram_types::patch::PatchInfo;
+
+/// Bidirectional mapping for one canvas.
+#[derive(Debug, Clone)]
+pub struct CanvasMapping<'a> {
+    canvas: &'a Canvas,
+}
+
+impl<'a> CanvasMapping<'a> {
+    /// Wraps a canvas.
+    #[must_use]
+    pub fn new(canvas: &'a Canvas) -> Self {
+        Self { canvas }
+    }
+
+    /// Projects a frame-space rectangle into canvas coordinates, clipped to
+    /// the patch that carries it. Returns one entry per placement that
+    /// overlaps `rect` in the given camera/frame (an object straddling two
+    /// patches appears clipped in both).
+    #[must_use]
+    pub fn frame_to_canvas(
+        &self,
+        camera: CameraId,
+        frame: FrameId,
+        rect: Rect,
+    ) -> Vec<Rect> {
+        let mut out = Vec::new();
+        for p in &self.canvas.placements {
+            if p.patch.camera != camera || p.patch.frame != frame {
+                continue;
+            }
+            let Some(visible) = rect.intersect(&p.patch.rect) else {
+                continue;
+            };
+            // Translate from frame space into this placement's canvas spot.
+            let dx = i64::from(p.position.x) - i64::from(p.patch.rect.x);
+            let dy = i64::from(p.position.y) - i64::from(p.patch.rect.y);
+            out.push(visible.translated(dx, dy));
+        }
+        out
+    }
+
+    /// Projects a canvas-space rectangle back to its source frame. The
+    /// placement owning the rectangle's centre wins; returns the patch
+    /// metadata and the frame-space rectangle (clipped to the patch).
+    #[must_use]
+    pub fn canvas_to_frame(&self, rect: Rect) -> Option<(PatchInfo, Rect)> {
+        let center = rect.center();
+        let p = self
+            .canvas
+            .placements
+            .iter()
+            .find(|p| p.canvas_rect().contains_point(center))?;
+        let dx = i64::from(p.patch.rect.x) - i64::from(p.position.x);
+        let dy = i64::from(p.patch.rect.y) - i64::from(p.position.y);
+        let mapped = rect.translated(dx, dy);
+        Some((p.patch, mapped.intersect(&p.patch.rect)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tangram_types::geometry::{Point, Size};
+    use tangram_types::ids::{CanvasId, PatchId};
+    use tangram_types::time::{SimDuration, SimTime};
+
+    fn canvas_with_patch() -> Canvas {
+        let mut c = Canvas::new(CanvasId::new(0), Size::new(1024, 1024));
+        let patch = PatchInfo::new(
+            PatchId::new(1),
+            CameraId::new(2),
+            FrameId::new(3),
+            Rect::new(1000, 500, 400, 300), // source-frame location
+            SimTime::ZERO,
+            SimDuration::from_secs(1),
+        );
+        c.place(patch, Point::new(100, 200)); // canvas location
+        c
+    }
+
+    #[test]
+    fn frame_to_canvas_translates() {
+        let c = canvas_with_patch();
+        let m = CanvasMapping::new(&c);
+        // An object at (1100, 600, 50, 60) in the frame sits at offset
+        // (100, 100) inside the patch → canvas (200, 300).
+        let mapped = m.frame_to_canvas(CameraId::new(2), FrameId::new(3), Rect::new(1100, 600, 50, 60));
+        assert_eq!(mapped, vec![Rect::new(200, 300, 50, 60)]);
+    }
+
+    #[test]
+    fn frame_to_canvas_clips_to_patch() {
+        let c = canvas_with_patch();
+        let m = CanvasMapping::new(&c);
+        // Object half outside the patch: only the covered part maps.
+        let mapped = m.frame_to_canvas(CameraId::new(2), FrameId::new(3), Rect::new(950, 550, 100, 50));
+        assert_eq!(mapped, vec![Rect::new(100, 250, 50, 50)]);
+    }
+
+    #[test]
+    fn wrong_camera_or_frame_maps_nothing() {
+        let c = canvas_with_patch();
+        let m = CanvasMapping::new(&c);
+        assert!(m
+            .frame_to_canvas(CameraId::new(9), FrameId::new(3), Rect::new(1100, 600, 10, 10))
+            .is_empty());
+        assert!(m
+            .frame_to_canvas(CameraId::new(2), FrameId::new(9), Rect::new(1100, 600, 10, 10))
+            .is_empty());
+    }
+
+    #[test]
+    fn canvas_to_frame_roundtrip() {
+        let c = canvas_with_patch();
+        let m = CanvasMapping::new(&c);
+        let frame_rect = Rect::new(1150, 620, 40, 50);
+        let on_canvas = m.frame_to_canvas(CameraId::new(2), FrameId::new(3), frame_rect)[0];
+        let (patch, back) = m.canvas_to_frame(on_canvas).expect("maps back");
+        assert_eq!(patch.id, PatchId::new(1));
+        assert_eq!(back, frame_rect);
+    }
+
+    #[test]
+    fn canvas_to_frame_outside_placements_is_none() {
+        let c = canvas_with_patch();
+        let m = CanvasMapping::new(&c);
+        assert!(m.canvas_to_frame(Rect::new(900, 900, 20, 20)).is_none());
+    }
+}

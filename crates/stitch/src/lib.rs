@@ -1,0 +1,38 @@
+//! The patch-stitching solver — Algorithm 2 (lines 24–39) of the paper.
+//!
+//! Variable-size patches are packed ("stitched") onto fixed-size canvases
+//! without resizing, padding, rotation or overlap, so a batch of canvases
+//! can be fed to the DNN as uniform inputs with no information loss.
+//!
+//! * [`packer`] — single-canvas rectangle packers: the paper's
+//!   [`packer::GuillotinePacker`] (best-short-side-fit choice, shorter-axis
+//!   split) plus [`packer::ShelfPacker`] and [`packer::SkylinePacker`] as
+//!   ablation baselines;
+//! * [`canvas`] — the canvas data model and efficiency accounting
+//!   (Fig. 10b / Fig. 13 plot the efficiency CDFs);
+//! * [`solver`] — the multi-canvas [`solver::PatchStitchingSolver`] that
+//!   Algorithm 2 invokes on every patch arrival;
+//! * [`compose`] — coordinate mapping between canvas space and source
+//!   frames, used when detections are projected back to cameras.
+//!
+//! # Example
+//!
+//! ```
+//! use tangram_stitch::solver::PatchStitchingSolver;
+//! use tangram_types::geometry::Size;
+//!
+//! let solver = PatchStitchingSolver::new(Size::CANVAS_1024);
+//! let sizes = [Size::new(400, 700), Size::new(600, 300), Size::new(500, 500)];
+//! let canvases = solver.stitch_sizes(&sizes).expect("all fit the canvas");
+//! assert_eq!(canvases.len(), 1, "three small patches share one canvas");
+//! ```
+
+pub mod canvas;
+pub mod compose;
+pub mod packer;
+pub mod solver;
+
+pub use canvas::{Canvas, PlacedPatch};
+pub use compose::CanvasMapping;
+pub use packer::{GuillotinePacker, Packer, ShelfPacker, SkylinePacker};
+pub use solver::{PatchStitchingSolver, StitchError};

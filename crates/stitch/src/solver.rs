@@ -1,0 +1,349 @@
+//! The multi-canvas Patch-stitching Solver.
+//!
+//! Algorithm 2 re-runs the solver over the whole queue on every patch
+//! arrival: patches are stitched onto a growing sequence of canvases;
+//! when no free space fits a patch, a fresh canvas is opened (line 36).
+//! Free space is pooled across all open canvases so a later small patch
+//! can still fill an earlier canvas's gap.
+
+use crate::canvas::Canvas;
+use crate::packer::{GuillotinePacker, Packer};
+use std::error::Error;
+use std::fmt;
+use tangram_types::geometry::{Point, Rect, Size};
+use tangram_types::ids::CanvasId;
+use tangram_types::patch::PatchInfo;
+
+/// Error returned when a patch cannot be stitched at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StitchError {
+    /// The patch is larger than an empty canvas; it must be pre-split
+    /// (see [`split_to_fit`]).
+    PatchTooLarge {
+        /// The offending patch size.
+        patch: Size,
+        /// The canvas size it must fit into.
+        canvas: Size,
+    },
+}
+
+impl fmt::Display for StitchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StitchError::PatchTooLarge { patch, canvas } => {
+                write!(f, "patch {patch} exceeds canvas {canvas}; split it first")
+            }
+        }
+    }
+}
+
+impl Error for StitchError {}
+
+/// Splits `rect` into tiles no larger than `canvas`, cutting along both
+/// axes as needed. Oversized patches occur when a zone's enclosing
+/// rectangle outgrows the canvas (dense scenes with spread-out RoIs);
+/// real deployments must make the same choice, trading one stitched
+/// boundary for uniform inputs.
+#[must_use]
+pub fn split_to_fit(rect: Rect, canvas: Size) -> Vec<Rect> {
+    assert!(!canvas.is_empty(), "canvas must be non-empty");
+    let mut tiles = Vec::new();
+    let mut y = rect.y;
+    while y < rect.bottom() {
+        let h = canvas.height.min(rect.bottom() - y);
+        let mut x = rect.x;
+        while x < rect.right() {
+            let w = canvas.width.min(rect.right() - x);
+            tiles.push(Rect::new(x, y, w, h));
+            x += w;
+        }
+        y += h;
+    }
+    tiles
+}
+
+/// Stateless multi-canvas stitching: every call packs a queue of patches
+/// from scratch, exactly as Algorithm 2 does on each arrival.
+#[derive(Debug, Clone)]
+pub struct PatchStitchingSolver {
+    canvas_size: Size,
+}
+
+impl PatchStitchingSolver {
+    /// Creates a solver producing canvases of `canvas_size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `canvas_size` is empty.
+    #[must_use]
+    pub fn new(canvas_size: Size) -> Self {
+        assert!(!canvas_size.is_empty(), "canvas must be non-empty");
+        Self { canvas_size }
+    }
+
+    /// The canvas extent this solver packs into.
+    #[must_use]
+    pub fn canvas_size(&self) -> Size {
+        self.canvas_size
+    }
+
+    /// Stitches the queue of patches onto canvases, in queue order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StitchError::PatchTooLarge`] if any patch exceeds the
+    /// canvas; pre-split such patches with [`split_to_fit`].
+    pub fn stitch(&self, patches: &[PatchInfo]) -> Result<Vec<Canvas>, StitchError> {
+        for p in patches {
+            if !self.canvas_size.fits(p.rect.size()) {
+                return Err(StitchError::PatchTooLarge {
+                    patch: p.rect.size(),
+                    canvas: self.canvas_size,
+                });
+            }
+        }
+        let mut packers: Vec<GuillotinePacker> = Vec::new();
+        let mut canvases: Vec<Canvas> = Vec::new();
+        'patches: for p in patches {
+            // Try the pooled free space of every open canvas, oldest first,
+            // choosing the first canvas whose packer accepts the patch.
+            for (packer, canvas) in packers.iter_mut().zip(canvases.iter_mut()) {
+                if let Some(pos) = packer.insert(p.rect.size()) {
+                    canvas.place(*p, pos);
+                    continue 'patches;
+                }
+            }
+            // No space anywhere: open a new canvas (Algorithm 2, line 36).
+            let mut packer = GuillotinePacker::new(self.canvas_size);
+            let pos = packer
+                .insert(p.rect.size())
+                .expect("patch fits an empty canvas (checked above)");
+            let mut canvas = Canvas::new(CanvasId::new(canvases.len() as u64), self.canvas_size);
+            canvas.place(*p, pos);
+            packers.push(packer);
+            canvases.push(canvas);
+        }
+        Ok(canvases)
+    }
+
+    /// Convenience for tests and benches: stitch bare sizes (metadata is
+    /// synthesised).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::stitch`].
+    pub fn stitch_sizes(&self, sizes: &[Size]) -> Result<Vec<Canvas>, StitchError> {
+        use tangram_types::ids::{CameraId, FrameId, PatchId};
+        use tangram_types::time::{SimDuration, SimTime};
+        let patches: Vec<PatchInfo> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                PatchInfo::new(
+                    PatchId::new(i as u64),
+                    CameraId::new(0),
+                    FrameId::new(0),
+                    Rect::new(0, 0, s.width, s.height),
+                    SimTime::ZERO,
+                    SimDuration::from_secs(1),
+                )
+            })
+            .collect();
+        self.stitch(&patches)
+    }
+
+    /// Would the queue still fit on at most `max_canvases` canvases?
+    /// (Constraint (5): the batch must fit the function's GPU memory.)
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::stitch`].
+    pub fn fits_within(
+        &self,
+        patches: &[PatchInfo],
+        max_canvases: usize,
+    ) -> Result<bool, StitchError> {
+        Ok(self.stitch(patches)?.len() <= max_canvases)
+    }
+}
+
+/// Placement helper shared by tests: validates the canvases of a stitch.
+#[doc(hidden)]
+pub fn validate_canvases(canvases: &[Canvas]) {
+    for canvas in canvases {
+        let bounds = Rect::from_size(canvas.size);
+        let rects: Vec<Rect> = canvas
+            .placements
+            .iter()
+            .map(crate::canvas::PlacedPatch::canvas_rect)
+            .collect();
+        for (i, r) in rects.iter().enumerate() {
+            assert!(bounds.contains_rect(r), "placement {r} escapes canvas");
+            for o in &rects[..i] {
+                assert!(!r.intersects(o), "overlap {r} vs {o}");
+            }
+        }
+    }
+}
+
+/// Returns the canvas position of a patch, if present.
+#[must_use]
+pub fn find_placement(canvases: &[Canvas], patch: &PatchInfo) -> Option<(CanvasId, Point)> {
+    for c in canvases {
+        for p in &c.placements {
+            if p.patch.id == patch.id {
+                return Some((c.id, p.position));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CANVAS: Size = Size::new(1024, 1024);
+
+    fn solver() -> PatchStitchingSolver {
+        PatchStitchingSolver::new(CANVAS)
+    }
+
+    #[test]
+    fn single_small_patch_single_canvas() {
+        let canvases = solver().stitch_sizes(&[Size::new(100, 100)]).unwrap();
+        assert_eq!(canvases.len(), 1);
+        assert_eq!(canvases[0].patch_count(), 1);
+        validate_canvases(&canvases);
+    }
+
+    #[test]
+    fn all_patches_placed_exactly_once() {
+        let sizes: Vec<Size> = (0..30)
+            .map(|i| Size::new(150 + (i * 37) % 300, 200 + (i * 53) % 350))
+            .collect();
+        let canvases = solver().stitch_sizes(&sizes).unwrap();
+        let placed: usize = canvases.iter().map(Canvas::patch_count).sum();
+        assert_eq!(placed, sizes.len());
+        validate_canvases(&canvases);
+    }
+
+    #[test]
+    fn overflow_opens_new_canvas() {
+        // Three 700x700 patches cannot share a 1024 canvas.
+        let sizes = vec![Size::new(700, 700); 3];
+        let canvases = solver().stitch_sizes(&sizes).unwrap();
+        assert_eq!(canvases.len(), 3);
+    }
+
+    #[test]
+    fn later_small_patch_fills_earlier_gap() {
+        // Big patch leaves a 1024x324 strip on canvas 0; after a second
+        // canvas opens, a small patch must still land in that strip.
+        let sizes = vec![
+            Size::new(1024, 700), // canvas 0, leaves bottom strip
+            Size::new(1024, 700), // canvas 1
+            Size::new(300, 300),  // fits canvas 0's strip
+        ];
+        let canvases = solver().stitch_sizes(&sizes).unwrap();
+        assert_eq!(canvases.len(), 2);
+        assert_eq!(canvases[0].patch_count(), 2);
+        validate_canvases(&canvases);
+    }
+
+    #[test]
+    fn oversized_patch_is_an_error() {
+        let err = solver()
+            .stitch_sizes(&[Size::new(2000, 100)])
+            .unwrap_err();
+        assert!(matches!(err, StitchError::PatchTooLarge { .. }));
+        assert!(err.to_string().contains("split it first"));
+    }
+
+    #[test]
+    fn split_to_fit_tiles_cover_exactly() {
+        let rect = Rect::new(100, 200, 2500, 1800);
+        let tiles = split_to_fit(rect, CANVAS);
+        // Tiles are disjoint and cover the rect.
+        let total: u64 = tiles.iter().map(Rect::area).sum();
+        assert_eq!(total, rect.area());
+        for (i, t) in tiles.iter().enumerate() {
+            assert!(rect.contains_rect(t));
+            assert!(CANVAS.fits(t.size()), "tile {t} too big");
+            for o in &tiles[..i] {
+                assert!(!t.intersects(o), "tiles overlap");
+            }
+        }
+        // 2500/1024 → 3 columns, 1800/1024 → 2 rows.
+        assert_eq!(tiles.len(), 6);
+    }
+
+    #[test]
+    fn split_to_fit_noop_for_small() {
+        let rect = Rect::new(5, 5, 100, 100);
+        assert_eq!(split_to_fit(rect, CANVAS), vec![rect]);
+    }
+
+    #[test]
+    fn fits_within_reflects_canvas_count() {
+        let sizes = vec![Size::new(700, 700); 3];
+        let s = solver();
+        let patches: Vec<PatchInfo> = {
+            use tangram_types::ids::{CameraId, FrameId, PatchId};
+            use tangram_types::time::{SimDuration, SimTime};
+            sizes
+                .iter()
+                .enumerate()
+                .map(|(i, sz)| {
+                    PatchInfo::new(
+                        PatchId::new(i as u64),
+                        CameraId::new(0),
+                        FrameId::new(0),
+                        Rect::new(0, 0, sz.width, sz.height),
+                        SimTime::ZERO,
+                        SimDuration::from_secs(1),
+                    )
+                })
+                .collect()
+        };
+        assert!(s.fits_within(&patches, 3).unwrap());
+        assert!(!s.fits_within(&patches, 2).unwrap());
+    }
+
+    #[test]
+    fn stitch_is_deterministic() {
+        let sizes: Vec<Size> = (0..25)
+            .map(|i| Size::new(100 + (i * 97) % 500, 100 + (i * 61) % 400))
+            .collect();
+        let a = solver().stitch_sizes(&sizes).unwrap();
+        let b = solver().stitch_sizes(&sizes).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn find_placement_locates_patches() {
+        use tangram_types::ids::{CameraId, FrameId, PatchId};
+        use tangram_types::time::{SimDuration, SimTime};
+        let patch = PatchInfo::new(
+            PatchId::new(42),
+            CameraId::new(1),
+            FrameId::new(2),
+            Rect::new(0, 0, 128, 256),
+            SimTime::ZERO,
+            SimDuration::from_secs(1),
+        );
+        let canvases = solver().stitch(&[patch]).unwrap();
+        let (cid, pos) = find_placement(&canvases, &patch).expect("patch placed");
+        assert_eq!(cid, CanvasId::new(0));
+        assert_eq!(pos, Point::new(0, 0));
+        let other = PatchInfo::new(
+            PatchId::new(43),
+            CameraId::new(1),
+            FrameId::new(2),
+            Rect::new(0, 0, 1, 1),
+            SimTime::ZERO,
+            SimDuration::from_secs(1),
+        );
+        assert_eq!(find_placement(&canvases, &other), None);
+    }
+}

@@ -1,0 +1,51 @@
+//! Validation errors for constructing domain values.
+
+use std::error::Error;
+use std::fmt;
+
+/// Returned when a constructor receives arguments that violate a documented
+/// invariant (empty canvas, zero zones, inconsistent configuration, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationError {
+    what: String,
+}
+
+impl ValidationError {
+    /// Creates an error describing the violated invariant.
+    #[must_use]
+    pub fn new(what: impl Into<String>) -> Self {
+        Self { what: what.into() }
+    }
+
+    /// The invariant description.
+    #[must_use]
+    pub fn what(&self) -> &str {
+        &self.what
+    }
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid argument: {}", self.what)
+    }
+}
+
+impl Error for ValidationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_reason() {
+        let e = ValidationError::new("canvas must be non-empty");
+        assert_eq!(e.to_string(), "invalid argument: canvas must be non-empty");
+        assert_eq!(e.what(), "canvas must be non-empty");
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<ValidationError>();
+    }
+}

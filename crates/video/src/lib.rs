@@ -1,0 +1,43 @@
+//! Synthetic high-resolution video substrate.
+//!
+//! The paper evaluates on PANDA4K — ten 4K human-centric scenes captured by
+//! a stationary gigapixel camera. That dataset (and a camera) is not
+//! available here, so this crate synthesises an equivalent workload from
+//! scratch:
+//!
+//! * [`scene`] — ten [`scene::SceneProfile`]s calibrated against Table I
+//!   (object counts, RoI proportion, redundancy), Table III (full-frame
+//!   AP), and Fig. 2a of the paper;
+//! * [`object`] + [`generator`] — clustered random-waypoint pedestrian
+//!   dynamics with spawn/despawn churn producing per-frame ground truth
+//!   whose RoI-proportion statistics reproduce Fig. 3;
+//! * [`raster`] — a deterministic grayscale renderer (static textured
+//!   background + moving textured objects + sensor noise) that feeds the
+//!   real background-subtraction pipeline in `tangram-vision`;
+//! * [`codec`] — an H.264-flavoured transmission-size model distinguishing
+//!   temporally-compressed streams from independently-coded crops,
+//!   calibrated to Table II / Fig. 9.
+//!
+//! # Example
+//!
+//! ```
+//! use tangram_types::ids::SceneId;
+//! use tangram_video::generator::{SceneSimulation, VideoConfig};
+//!
+//! let mut sim = SceneSimulation::new(SceneId::new(1), VideoConfig::default(), 42);
+//! let frame = sim.next_frame();
+//! assert!(!frame.objects.is_empty());
+//! assert!(frame.roi_proportion() > 0.0);
+//! ```
+
+pub mod codec;
+pub mod generator;
+pub mod object;
+pub mod raster;
+pub mod scene;
+
+pub use codec::CodecModel;
+pub use generator::{FrameTruth, SceneSimulation, VideoConfig};
+pub use object::GtObject;
+pub use raster::Raster;
+pub use scene::SceneProfile;

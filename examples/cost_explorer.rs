@@ -1,0 +1,65 @@
+//! Cost explorer: sweep SLO × bandwidth for one scene and print the cost
+//! and violation heat-maps an operator would use for capacity planning.
+//!
+//! Run with: `cargo run --release --example cost_explorer`
+
+use tangram_core::engine::{EngineConfig, PolicyKind};
+use tangram_core::workload::TraceConfig;
+use tangram_types::ids::SceneId;
+use tangram_types::time::SimDuration;
+
+fn main() {
+    let trace = TraceConfig::proxy_extractor(SceneId::new(2), 60, 11).build();
+    let slos = [0.6, 0.8, 1.0, 1.2, 1.4];
+    let bandwidths = [20.0, 40.0, 80.0];
+
+    println!("Scene: scene_02 (OCT Habour), 60 frames, Tangram scheduler\n");
+    println!("-- cost ($ per clip) --");
+    print!("{:>10}", "SLO \\ bw");
+    for bw in bandwidths {
+        print!("{bw:>10.0}");
+    }
+    println!();
+    let mut grids: Vec<Vec<(f64, f64)>> = Vec::new();
+    for slo in slos {
+        let mut row = Vec::new();
+        for bw in bandwidths {
+            let report = EngineConfig {
+                policy: PolicyKind::Tangram,
+                slo: SimDuration::from_secs_f64(slo),
+                bandwidth_mbps: bw,
+                seed: 11,
+                ..EngineConfig::default()
+            }
+            .run(std::slice::from_ref(&trace));
+            row.push((
+                report.total_cost().get(),
+                report.slo_violation_rate() * 100.0,
+            ));
+        }
+        grids.push(row);
+    }
+    for (si, slo) in slos.iter().enumerate() {
+        print!("{slo:>9.1}s");
+        for (c, _) in &grids[si] {
+            print!("{c:>10.4}");
+        }
+        println!();
+    }
+    println!("\n-- SLO violation (%) --");
+    print!("{:>10}", "SLO \\ bw");
+    for bw in bandwidths {
+        print!("{bw:>10.0}");
+    }
+    println!();
+    for (si, slo) in slos.iter().enumerate() {
+        print!("{slo:>9.1}s");
+        for (_, v) in &grids[si] {
+            print!("{v:>10.1}");
+        }
+        println!();
+    }
+    println!(
+        "\nReading the map: looser SLOs cut cost (fuller canvases per invocation);\nhigher bandwidth pushes patches in faster, raising efficiency further. The\noperator only ever supplies the SLO — Tangram does the rest (§V-B)."
+    );
+}

@@ -1,0 +1,53 @@
+//! Traffic-junction monitoring: three cameras on one uplink with a hard
+//! 1-second SLO, comparing Tangram against the per-patch (ELF) and
+//! batch+timeout (MArk) deployments an operator would otherwise choose.
+//!
+//! Run with: `cargo run --release --example traffic_junction`
+
+use tangram_core::engine::{EngineConfig, PolicyKind};
+use tangram_core::workload::{CameraTrace, TraceConfig};
+use tangram_types::ids::SceneId;
+use tangram_types::time::SimDuration;
+
+fn main() {
+    // Three simultaneous viewpoints: a crossroad and two street cameras.
+    let scenes = [3u8, 8, 9];
+    let traces: Vec<CameraTrace> = scenes
+        .iter()
+        .map(|&s| TraceConfig::proxy_extractor(SceneId::new(s), 60, 2024).build())
+        .collect();
+    println!(
+        "Workload: {} cameras, {} frames, {} patches total\n",
+        traces.len(),
+        traces.iter().map(|t| t.frames.len()).sum::<usize>(),
+        traces.iter().map(CameraTrace::patch_count).sum::<usize>()
+    );
+
+    println!(
+        "{:<10} {:>10} {:>8} {:>10} {:>10} {:>12} {:>10}",
+        "policy", "cost $", "viol %", "mean lat", "p99 lat", "batches", "MiB sent"
+    );
+    for policy in [PolicyKind::Tangram, PolicyKind::Elf, PolicyKind::Mark] {
+        let config = EngineConfig {
+            policy,
+            slo: SimDuration::from_secs(1),
+            bandwidth_mbps: 40.0,
+            seed: 2024,
+            ..EngineConfig::default()
+        };
+        let report = config.run(&traces);
+        println!(
+            "{:<10} {:>10.4} {:>8.2} {:>10} {:>10} {:>12} {:>10.1}",
+            report.policy,
+            report.total_cost().get(),
+            report.slo_violation_rate() * 100.0,
+            report.mean_latency().to_string(),
+            report.latency_quantile(0.99).to_string(),
+            report.batches.len(),
+            report.total_bytes().as_mib_f64(),
+        );
+    }
+    println!(
+        "\nTangram stitches all three cameras' patches into shared canvases, so the\njunction runs at a fraction of the invocation cost with the SLO intact."
+    );
+}

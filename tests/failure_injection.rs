@@ -1,0 +1,120 @@
+//! Failure-injection tests: the system must degrade gracefully — no
+//! panics, conserved accounting — under link outages, latency-tail
+//! inflation, cold-start storms and starved capacity.
+
+use tangram_core::engine::{EngineConfig, PolicyKind};
+use tangram_core::workload::TraceConfig;
+use tangram_infer::latency::InferenceLatencyModel;
+use tangram_net::{Link, LinkConfig};
+use tangram_serverless::function::FunctionSpec;
+use tangram_serverless::platform::{InvocationRequest, ServerlessPlatform};
+use tangram_types::ids::SceneId;
+use tangram_types::time::{SimDuration, SimTime};
+use tangram_types::units::Bytes;
+
+#[test]
+fn link_outage_delays_but_preserves_messages() {
+    let mut link = Link::new(LinkConfig::mbps(40.0));
+    let before = link.enqueue(SimTime::ZERO, Bytes::new(100_000));
+    link.outage_until(SimTime::from_secs_f64(5.0));
+    let after = link.enqueue(SimTime::from_secs_f64(0.1), Bytes::new(100_000));
+    assert!(after > SimTime::from_secs_f64(5.0));
+    assert!(after > before);
+    assert_eq!(link.stats().messages, 2, "no message lost in the outage");
+}
+
+#[test]
+fn latency_tail_inflation_raises_violations_not_panics() {
+    let trace = TraceConfig::proxy_extractor(SceneId::new(3), 30, 41).build();
+    let mut noisy_model = InferenceLatencyModel::rtx4090_yolov8x();
+    noisy_model.noise_sigma = 0.8; // brutal tail
+    let calm = EngineConfig {
+        policy: PolicyKind::Tangram,
+        slo: SimDuration::from_millis(700),
+        seed: 41,
+        ..EngineConfig::default()
+    };
+    let mut stormy = calm.clone();
+    stormy.latency_model = noisy_model;
+    let calm_report = calm.run(std::slice::from_ref(&trace));
+    let stormy_report = stormy.run(std::slice::from_ref(&trace));
+    assert_eq!(
+        calm_report.patches_completed(),
+        stormy_report.patches_completed(),
+        "every patch still completes"
+    );
+    assert!(
+        stormy_report.slo_violation_rate() >= calm_report.slo_violation_rate(),
+        "tail inflation cannot reduce violations"
+    );
+}
+
+#[test]
+fn cold_start_storm_from_zero_keep_alive() {
+    let mut platform = ServerlessPlatform::new(
+        FunctionSpec::paper_default(),
+        InferenceLatencyModel::rtx4090_yolov8x(),
+        5,
+    );
+    platform.keep_alive = SimDuration::from_millis(1); // everything expires
+    let mut at = SimTime::ZERO;
+    for _ in 0..20 {
+        let outcome = platform
+            .invoke(InvocationRequest {
+                canvases: 1,
+                megapixels: 1.05,
+                submitted: at,
+            })
+            .expect("fits");
+        at = outcome.finished + SimDuration::from_millis(50);
+    }
+    let stats = platform.stats();
+    assert_eq!(stats.invocations, 20);
+    assert_eq!(stats.cold_starts, 20, "every invocation cold-starts");
+}
+
+#[test]
+fn starved_capacity_queues_instead_of_dropping() {
+    let mut platform = ServerlessPlatform::new(
+        FunctionSpec::paper_default(),
+        InferenceLatencyModel::rtx4090_yolov8x(),
+        5,
+    );
+    platform.max_instances = Some(1);
+    // Ten simultaneous batches through one instance: all served, strictly
+    // serialised.
+    let mut finishes = Vec::new();
+    for _ in 0..10 {
+        let outcome = platform
+            .invoke(InvocationRequest {
+                canvases: 2,
+                megapixels: 2.1,
+                submitted: SimTime::ZERO,
+            })
+            .expect("fits");
+        finishes.push(outcome.finished);
+    }
+    assert_eq!(platform.stats().invocations, 10);
+    assert_eq!(platform.stats().peak_instances, 1);
+    for w in finishes.windows(2) {
+        assert!(w[1] > w[0], "executions must serialise on one instance");
+    }
+}
+
+#[test]
+fn tiny_bandwidth_still_completes_the_run() {
+    // 2 Mbps: the uplink crawls; the closed loop slows capture instead of
+    // exploding queues, and the run still terminates with all patches.
+    let trace = TraceConfig::proxy_extractor(SceneId::new(1), 10, 43).build();
+    let report = EngineConfig {
+        policy: PolicyKind::Tangram,
+        slo: SimDuration::from_secs(1),
+        bandwidth_mbps: 2.0,
+        seed: 43,
+        ..EngineConfig::default()
+    }
+    .run(&[trace]);
+    assert_eq!(report.frames, 10);
+    assert!(report.patches_completed() > 0);
+    assert!(report.makespan > SimDuration::from_secs(5), "crawling link");
+}

@@ -1,0 +1,93 @@
+//! Integration tests of the live (wall-clock) runtime against the same
+//! scheduler semantics the simulation uses.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tangram_core::policy::BatchSpec;
+use tangram_core::runtime::LiveTangram;
+use tangram_core::scheduler::SchedulerConfig;
+use tangram_infer::estimator::LatencyEstimator;
+use tangram_infer::latency::InferenceLatencyModel;
+use tangram_types::geometry::{Rect, Size};
+use tangram_types::ids::{CameraId, FrameId, PatchId};
+use tangram_types::patch::PatchInfo;
+use tangram_types::time::{SimDuration, SimTime};
+
+fn estimator() -> LatencyEstimator {
+    LatencyEstimator::paper_default(
+        &InferenceLatencyModel::rtx4090_yolov8x(),
+        Size::CANVAS_1024,
+        9,
+    )
+}
+
+fn patch(id: u64, generated: SimTime, slo_ms: u64, side: u32) -> PatchInfo {
+    PatchInfo::new(
+        PatchId::new(id),
+        CameraId::new(0),
+        FrameId::new(id / 8),
+        Rect::new(0, 0, side, side),
+        generated,
+        SimDuration::from_millis(slo_ms),
+    )
+}
+
+#[test]
+fn batches_fire_before_their_deadlines() {
+    let dispatches: Arc<Mutex<Vec<(BatchSpec, Instant)>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&dispatches);
+    let start = Instant::now();
+    let runtime = LiveTangram::start(
+        SchedulerConfig::paper_default(),
+        estimator(),
+        Box::new(move |spec| sink.lock().push((spec, Instant::now()))),
+    );
+    // Stream patches over ~200 ms with a 450 ms SLO.
+    for i in 0..12u64 {
+        let now = SimTime::from_micros(start.elapsed().as_micros() as u64);
+        runtime.receive_patch(patch(i, now, 450, 280));
+        std::thread::sleep(Duration::from_millis(15));
+    }
+    std::thread::sleep(Duration::from_millis(600));
+    runtime.shutdown();
+    let fired = dispatches.lock();
+    assert!(!fired.is_empty(), "the invoker must have fired");
+    let total: usize = fired.iter().map(|(b, _)| b.patch_count()).sum();
+    assert_eq!(total, 12, "every patch dispatched exactly once");
+    // Dispatch moments respect the earliest deadline of each batch, with
+    // slack to spare for (simulated) execution.
+    for (spec, at) in fired.iter() {
+        let fired_ms = at.duration_since(start).as_millis() as u64;
+        let deadline_ms = spec
+            .earliest_deadline()
+            .expect("non-empty batch")
+            .as_micros()
+            / 1000;
+        assert!(
+            fired_ms <= deadline_ms,
+            "batch fired at {fired_ms} ms, after its deadline {deadline_ms} ms"
+        );
+    }
+}
+
+#[test]
+fn gpu_bound_respected_under_burst() {
+    let dispatches: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&dispatches);
+    let runtime = LiveTangram::start(
+        SchedulerConfig::paper_default(),
+        estimator(),
+        Box::new(move |spec| sink.lock().push(spec.inputs)),
+    );
+    // A burst of 15 huge patches (one canvas each): the 9-canvas GPU bound
+    // must split them across invocations.
+    for i in 0..15u64 {
+        runtime.receive_patch(patch(i, SimTime::ZERO, 60_000, 1000));
+    }
+    std::thread::sleep(Duration::from_millis(200));
+    runtime.shutdown();
+    let inputs = dispatches.lock();
+    assert!(inputs.iter().all(|&n| n <= 9), "batch exceeded GPU bound: {inputs:?}");
+    assert_eq!(inputs.iter().sum::<usize>(), 15);
+}

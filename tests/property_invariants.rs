@@ -1,0 +1,181 @@
+//! Property-based tests (proptest) of the core invariants.
+
+use proptest::prelude::*;
+use tangram_core::scheduler::{SchedulerConfig, TangramScheduler};
+use tangram_infer::ap::{ap50, Detection, FrameEval};
+use tangram_infer::estimator::LatencyEstimator;
+use tangram_infer::latency::InferenceLatencyModel;
+use tangram_partition::algorithm::{partition_detailed, PartitionConfig};
+use tangram_stitch::canvas::PlacedPatch;
+use tangram_stitch::solver::{split_to_fit, PatchStitchingSolver};
+use tangram_types::geometry::{Rect, Size};
+use tangram_types::ids::{CameraId, FrameId, PatchId};
+use tangram_types::patch::PatchInfo;
+use tangram_types::time::{SimDuration, SimTime};
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (0u32..3700, 0u32..2000, 8u32..500, 8u32..600)
+        .prop_map(|(x, y, w, h)| Rect::new(x.min(3839), y.min(2159), w.min(3840 - x.min(3839)).max(1), h.min(2160 - y.min(2159)).max(1)))
+}
+
+fn patch_info(i: usize, rect: Rect) -> PatchInfo {
+    PatchInfo::new(
+        PatchId::new(i as u64),
+        CameraId::new(0),
+        FrameId::new(0),
+        rect,
+        SimTime::ZERO,
+        SimDuration::from_secs(60),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn stitch_places_everything_disjointly(rects in prop::collection::vec(arb_rect(), 1..40)) {
+        let solver = PatchStitchingSolver::new(Size::CANVAS_1024);
+        let patches: Vec<PatchInfo> = rects
+            .iter()
+            .enumerate()
+            .flat_map(|(i, r)| {
+                split_to_fit(*r, Size::CANVAS_1024)
+                    .into_iter()
+                    .map(move |tile| patch_info(i, tile))
+            })
+            .collect();
+        let canvases = solver.stitch(&patches).expect("normalised patches fit");
+        // Every patch placed exactly once.
+        let placed: usize = canvases.iter().map(|c| c.placements.len()).sum();
+        prop_assert_eq!(placed, patches.len());
+        // No overlaps, all in bounds, efficiency ≤ 1.
+        for canvas in &canvases {
+            let bounds = Rect::from_size(canvas.size);
+            let rects: Vec<Rect> = canvas.placements.iter().map(PlacedPatch::canvas_rect).collect();
+            for (i, r) in rects.iter().enumerate() {
+                prop_assert!(bounds.contains_rect(r));
+                for o in &rects[..i] {
+                    prop_assert!(!r.intersects(o));
+                }
+            }
+            prop_assert!(canvas.efficiency() <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn partition_covers_every_roi(rects in prop::collection::vec(arb_rect(), 0..60),
+                                  zx in 1u32..8, zy in 1u32..8) {
+        let config = PartitionConfig::new(zx, zy);
+        let detailed = partition_detailed(Size::UHD_4K, config, &rects);
+        // Patch count bounded by zones; every RoI fully inside its patch.
+        prop_assert!(detailed.len() <= (zx * zy) as usize);
+        let mut assigned = 0usize;
+        for zp in &detailed {
+            for &ri in &zp.roi_indices {
+                prop_assert!(zp.rect.contains_rect(&rects[ri]));
+                assigned += 1;
+            }
+        }
+        let nonempty = rects.iter().filter(|r| !r.is_empty()).count();
+        prop_assert_eq!(assigned, nonempty);
+    }
+
+    #[test]
+    fn split_to_fit_partitions_exactly(rect in arb_rect()) {
+        let tiles = split_to_fit(rect, Size::CANVAS_1024);
+        let total: u64 = tiles.iter().map(Rect::area).sum();
+        prop_assert_eq!(total, rect.area());
+        for (i, t) in tiles.iter().enumerate() {
+            prop_assert!(rect.contains_rect(t));
+            prop_assert!(Size::CANVAS_1024.fits(t.size()));
+            for o in &tiles[..i] {
+                prop_assert!(!t.intersects(o));
+            }
+        }
+    }
+
+    #[test]
+    fn scheduler_batches_respect_gpu_bound(
+        sizes in prop::collection::vec((50u32..1024, 50u32..1024), 1..60),
+        slo_ms in 200u64..5000,
+    ) {
+        let estimator = LatencyEstimator::paper_default(
+            &InferenceLatencyModel::rtx4090_yolov8x(),
+            Size::CANVAS_1024,
+            9,
+        );
+        let mut scheduler =
+            TangramScheduler::new(SchedulerConfig::paper_default(), estimator);
+        let mut dispatched = Vec::new();
+        for (i, (w, h)) in sizes.iter().enumerate() {
+            let info = PatchInfo::new(
+                PatchId::new(i as u64),
+                CameraId::new(0),
+                FrameId::new(i as u64 / 8),
+                Rect::new(0, 0, *w, *h),
+                SimTime::from_micros(i as u64 * 5_000),
+                SimDuration::from_millis(slo_ms),
+            );
+            let out = scheduler.on_patch(SimTime::from_micros(i as u64 * 5_000), info);
+            dispatched.extend(out.dispatches);
+        }
+        dispatched.extend(scheduler.drain().dispatches);
+        // Constraint (5): never more canvases than the GPU holds; every
+        // patch appears in exactly one batch.
+        let total: usize = dispatched.iter().map(|b| b.patches.len()).sum();
+        prop_assert_eq!(total, sizes.len());
+        for b in &dispatched {
+            prop_assert!(b.inputs <= 9, "batch of {} canvases", b.inputs);
+            prop_assert_eq!(b.canvas_efficiencies.len(), b.inputs);
+        }
+    }
+
+    #[test]
+    fn ap_increases_with_true_positives(n_truth in 1usize..20, hits in 0usize..20) {
+        let truths: Vec<Rect> = (0..n_truth)
+            .map(|i| Rect::new(i as u32 * 150, 100, 80, 120))
+            .collect();
+        let make_eval = |k: usize| {
+            let dets: Vec<Detection> = truths
+                .iter()
+                .take(k)
+                .map(|&rect| Detection { rect, confidence: 0.9 })
+                .collect();
+            vec![FrameEval::new(truths.clone(), dets)]
+        };
+        let fewer = ap50(&make_eval(hits.min(n_truth).saturating_sub(1)));
+        let more = ap50(&make_eval(hits.min(n_truth)));
+        prop_assert!(more >= fewer);
+    }
+
+    #[test]
+    fn event_queue_pops_sorted(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = tangram_sim::event::EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_micros(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn deadlines_never_regress_under_waiting(gen in 0u64..1_000_000, slo in 1u64..5_000_000) {
+        let info = PatchInfo::new(
+            PatchId::new(0),
+            CameraId::new(0),
+            FrameId::new(0),
+            Rect::new(0, 0, 10, 10),
+            SimTime::from_micros(gen),
+            SimDuration::from_micros(slo),
+        );
+        let d = info.deadline();
+        prop_assert_eq!(d.since(SimTime::from_micros(gen)), SimDuration::from_micros(slo));
+        // Budget is monotone non-increasing in time.
+        let b1 = info.remaining_budget(SimTime::from_micros(gen + 1));
+        let b2 = info.remaining_budget(SimTime::from_micros(gen + 2));
+        prop_assert!(b2 <= b1);
+    }
+}

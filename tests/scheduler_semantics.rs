@@ -1,0 +1,139 @@
+//! Focused semantic tests of Algorithm 2's timing decisions, driven as a
+//! pure state machine (no engine, no threads).
+
+use tangram_core::scheduler::{SchedulerConfig, TangramScheduler};
+use tangram_infer::estimator::LatencyEstimator;
+use tangram_infer::latency::InferenceLatencyModel;
+use tangram_types::geometry::{Rect, Size};
+use tangram_types::ids::{CameraId, FrameId, PatchId};
+use tangram_types::patch::PatchInfo;
+use tangram_types::time::{SimDuration, SimTime};
+
+fn scheduler(k: f64) -> TangramScheduler {
+    let estimator = LatencyEstimator::profile(
+        &InferenceLatencyModel::rtx4090_yolov8x(),
+        Size::CANVAS_1024,
+        9,
+        1000,
+        k,
+        7,
+    );
+    TangramScheduler::new(SchedulerConfig::paper_default(), estimator)
+}
+
+fn patch(id: u64, camera: u32, gen_ms: u64, slo_ms: u64, side: u32) -> PatchInfo {
+    PatchInfo::new(
+        PatchId::new((u64::from(camera) << 40) | id),
+        CameraId::new(camera),
+        FrameId::new(id / 8),
+        Rect::new(0, 0, side, side),
+        SimTime::from_micros(gen_ms * 1000),
+        SimDuration::from_millis(slo_ms),
+    )
+}
+
+fn t(ms: u64) -> SimTime {
+    SimTime::from_micros(ms * 1000)
+}
+
+#[test]
+fn invoke_by_equals_deadline_minus_slack() {
+    let mut s = scheduler(3.0);
+    let _ = s.on_patch(t(0), patch(1, 0, 0, 1000, 300));
+    let invoke_by = s.invoke_by().expect("armed");
+    // One canvas: t_remain = 1000 ms − T_slack(1).
+    // T_slack(1) ≈ 83 ms mean + 3σ ≈ 105–115 ms.
+    let remain_ms = invoke_by.as_micros() / 1000;
+    assert!(
+        (870..=920).contains(&remain_ms),
+        "invoke_by at {remain_ms} ms"
+    );
+}
+
+#[test]
+fn growing_batch_pulls_invoke_by_earlier() {
+    // As canvases accumulate, the slack grows, so the same deadline forces
+    // an earlier invocation.
+    let mut s = scheduler(3.0);
+    let _ = s.on_patch(t(0), patch(1, 0, 0, 2000, 1000)); // 1 canvas
+    let one = s.invoke_by().unwrap();
+    let _ = s.on_patch(t(1), patch(2, 0, 0, 2000, 1000)); // 2 canvases
+    let two = s.invoke_by().unwrap();
+    let _ = s.on_patch(t(2), patch(3, 0, 0, 2000, 1000)); // 3 canvases
+    let three = s.invoke_by().unwrap();
+    assert!(two < one, "{two} !< {one}");
+    assert!(three < two);
+}
+
+#[test]
+fn cross_camera_patches_share_batches() {
+    let mut s = scheduler(3.0);
+    let _ = s.on_patch(t(0), patch(1, 0, 0, 1500, 400));
+    let _ = s.on_patch(t(5), patch(1, 1, 5, 1500, 400));
+    let _ = s.on_patch(t(9), patch(1, 2, 9, 1500, 400));
+    let out = s.on_timer(s.invoke_by().unwrap());
+    assert_eq!(out.dispatches.len(), 1);
+    let batch = &out.dispatches[0];
+    assert_eq!(batch.patch_count(), 3);
+    let cameras: std::collections::HashSet<u32> =
+        batch.patches.iter().map(|p| p.camera.raw()).collect();
+    assert_eq!(cameras.len(), 3, "three cameras in one batch");
+    assert_eq!(batch.inputs, 1, "three 400² patches share one canvas");
+}
+
+#[test]
+fn zero_sigma_multiplier_still_reserves_mean_execution() {
+    // Even with k = 0, T_slack = µ > 0: the invoker never waits past
+    // deadline − mean execution time.
+    let mut s = scheduler(0.0);
+    let _ = s.on_patch(t(0), patch(1, 0, 0, 500, 300));
+    let invoke_by = s.invoke_by().unwrap();
+    assert!(invoke_by < t(500));
+    assert!(invoke_by > t(380), "µ(1 canvas) ≈ 83 ms: {invoke_by}");
+}
+
+#[test]
+fn timer_then_new_patch_starts_fresh_cycle() {
+    let mut s = scheduler(3.0);
+    let _ = s.on_patch(t(0), patch(1, 0, 0, 1000, 300));
+    let fire_at = s.invoke_by().unwrap();
+    let fired = s.on_timer(fire_at);
+    assert_eq!(fired.dispatches.len(), 1);
+    assert_eq!(s.queue_len(), 0);
+    assert_eq!(s.invoke_by(), None);
+    // A new patch re-arms from scratch.
+    let gen2 = fire_at.as_micros() / 1000 + 10;
+    let _ = s.on_patch(t(gen2), patch(2, 0, gen2, 1000, 300));
+    let second = s.invoke_by().expect("re-armed");
+    assert!(second > fire_at);
+}
+
+#[test]
+fn queue_survives_exact_memory_boundary() {
+    let mut s = scheduler(3.0);
+    // Exactly nine canvas-filling patches: no overflow dispatch.
+    for i in 0..9 {
+        let out = s.on_patch(t(i), patch(i, 0, i, 60_000, 1024));
+        assert!(out.dispatches.is_empty(), "patch {i} dispatched early");
+    }
+    assert_eq!(s.open_canvases(), 9);
+    // Drain returns all nine as one batch at the GPU bound.
+    let out = s.drain();
+    assert_eq!(out.dispatches.len(), 1);
+    assert_eq!(out.dispatches[0].inputs, 9);
+}
+
+#[test]
+fn interleaved_slos_respect_the_tightest() {
+    let mut s = scheduler(3.0);
+    let _ = s.on_patch(t(0), patch(1, 0, 0, 5000, 300)); // lax
+    let _ = s.on_patch(t(1), patch(2, 0, 1, 400, 300)); // tight
+    let invoke_by = s.invoke_by().unwrap();
+    assert!(
+        invoke_by < t(401),
+        "tightest deadline governs: {invoke_by}"
+    );
+    // Firing the timer dispatches BOTH patches together.
+    let out = s.on_timer(invoke_by);
+    assert_eq!(out.dispatches[0].patch_count(), 2);
+}
