@@ -25,7 +25,7 @@ fn bench_partition(c: &mut Criterion) {
     for (grid, n) in [(2u32, 50usize), (4, 50), (6, 50), (4, 250)] {
         let boxes = rois(n);
         let config = PartitionConfig::new(grid, grid);
-        c.bench_function(&format!("partition_{grid}x{grid}_{n}_rois"), |b| {
+        c.bench_function(format!("partition_{grid}x{grid}_{n}_rois"), |b| {
             b.iter(|| partition(Size::UHD_4K, config, &boxes));
         });
     }

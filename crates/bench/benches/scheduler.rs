@@ -38,7 +38,7 @@ fn bench_scheduler(c: &mut Criterion) {
     for n in [16usize, 64] {
         let work = patches(n);
         let est = estimator.clone();
-        c.bench_function(&format!("scheduler_on_patch_x{n}"), |b| {
+        c.bench_function(format!("scheduler_on_patch_x{n}"), |b| {
             b.iter_batched(
                 || TangramScheduler::new(SchedulerConfig::paper_default(), est.clone()),
                 |mut s| {

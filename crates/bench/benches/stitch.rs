@@ -64,7 +64,7 @@ fn bench_solver(c: &mut Criterion) {
     let solver = PatchStitchingSolver::new(Size::CANVAS_1024);
     for n in [8usize, 32, 64] {
         let sizes = workload(n);
-        c.bench_function(&format!("solver_stitch_{n}_patches"), |b| {
+        c.bench_function(format!("solver_stitch_{n}_patches"), |b| {
             b.iter(|| solver.stitch_sizes(&sizes).expect("fits"));
         });
     }

@@ -14,7 +14,9 @@ use tangram_types::time::SimDuration;
 fn main() {
     let opts = ExpOpts::from_args();
     let frames = opts.frame_budget(40, 134);
-    let scenes: Vec<SceneId> = SceneId::all().take(if opts.quick { 2 } else { 5 }).collect();
+    let scenes: Vec<SceneId> = SceneId::all()
+        .take(if opts.quick { 2 } else { 5 })
+        .collect();
     let traces: Vec<CameraTrace> = scenes
         .iter()
         .map(|&scene| TraceConfig::proxy_extractor(scene, frames, opts.seed).build())

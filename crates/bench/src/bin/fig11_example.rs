@@ -62,7 +62,11 @@ fn ascii_view(frame: &FrameTruth, rois: &[Rect], patches: &[Rect]) -> String {
     let mut grid = vec![vec![b'.'; COLS as usize]; ROWS as usize];
     let fill = |r: &Rect, ch: u8, grid: &mut Vec<Vec<u8>>| {
         let (x0, y0) = to_cell(frame, r.x, r.y);
-        let (x1, y1) = to_cell(frame, r.right().min(frame.frame_size.width - 1), r.bottom().min(frame.frame_size.height - 1));
+        let (x1, y1) = to_cell(
+            frame,
+            r.right().min(frame.frame_size.width - 1),
+            r.bottom().min(frame.frame_size.height - 1),
+        );
         for y in y0..=y1.min(ROWS - 1) {
             for x in x0..=x1.min(COLS - 1) {
                 grid[y as usize][x as usize] = ch;

@@ -14,7 +14,9 @@ use tangram_types::time::SimDuration;
 fn main() {
     let opts = ExpOpts::from_args();
     let frames = opts.frame_budget(40, 134);
-    let scenes: Vec<SceneId> = SceneId::all().take(if opts.quick { 2 } else { 5 }).collect();
+    let scenes: Vec<SceneId> = SceneId::all()
+        .take(if opts.quick { 2 } else { 5 })
+        .collect();
     let policies = [
         PolicyKind::Tangram,
         PolicyKind::Clipper,
@@ -46,13 +48,7 @@ fn main() {
 
     for (bw, slos, mark_timeout) in sweeps {
         println!("== Fig. 12 @ {bw:.0} Mbps: average cost ($/scene) and SLO violation (%) ==\n");
-        let mut cost_table = TextTable::new([
-            "SLO (s)",
-            "Tangram",
-            "Clipper",
-            "ELF",
-            "MArk",
-        ]);
+        let mut cost_table = TextTable::new(["SLO (s)", "Tangram", "Clipper", "ELF", "MArk"]);
         let mut viol_table = cost_table_clone_headers();
         for slo in slos {
             let mut cost_row = vec![format!("{slo:.1}")];

@@ -31,7 +31,9 @@ fn efficiency_cdf(traces: &[CameraTrace], bw: f64, slo: f64, seed: u64) -> Empir
 fn main() {
     let opts = ExpOpts::from_args();
     let frames = opts.frame_budget(40, 134);
-    let scenes: Vec<SceneId> = SceneId::all().take(if opts.quick { 2 } else { 5 }).collect();
+    let scenes: Vec<SceneId> = SceneId::all()
+        .take(if opts.quick { 2 } else { 5 })
+        .collect();
     let traces: Vec<CameraTrace> = scenes
         .iter()
         .map(|&scene| {

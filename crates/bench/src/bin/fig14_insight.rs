@@ -17,7 +17,9 @@ use tangram_types::time::SimDuration;
 fn main() {
     let opts = ExpOpts::from_args();
     let frames = opts.frame_budget(40, 134);
-    let scenes: Vec<SceneId> = SceneId::all().take(if opts.quick { 2 } else { 5 }).collect();
+    let scenes: Vec<SceneId> = SceneId::all()
+        .take(if opts.quick { 2 } else { 5 })
+        .collect();
     let traces: Vec<CameraTrace> = scenes
         .iter()
         .map(|&scene| {
@@ -89,28 +91,17 @@ fn main() {
         if (bw - 80.0).abs() < f64::EPSILON {
             println!("== Fig. 14(d) @ 80 Mbps: batches by canvases (rows) x patches (cols) ==\n");
             let mut heat = TextTable::new([
-                "canvases",
-                "1-5",
-                "6-10",
-                "11-15",
-                "16-20",
-                "21-25",
-                "26-30",
-                "31-35",
-                "36-40",
+                "canvases", "1-5", "6-10", "11-15", "16-20", "21-25", "26-30", "31-35", "36-40",
                 ">40",
             ]);
-            for canvases in 1..=9usize {
-                let row_total: u32 = joint[canvases].iter().sum();
+            for (canvases, row) in joint.iter().enumerate().skip(1) {
+                let row_total: u32 = row.iter().sum();
                 if row_total == 0 {
                     continue;
                 }
                 let mut cells = vec![canvases.to_string()];
-                for band in 0..9 {
-                    cells.push(format!(
-                        "{:.2}",
-                        f64::from(joint[canvases][band]) / f64::from(row_total)
-                    ));
+                for &count in row.iter().take(9) {
+                    cells.push(format!("{:.2}", f64::from(count) / f64::from(row_total)));
                 }
                 heat.row(cells);
             }

@@ -35,10 +35,8 @@ fn fig2a(opts: &ExpOpts, frames: usize) {
         let mut rng = DetRng::new(opts.seed).fork_indexed("fig2a", u64::from(scene.index()));
         let mut evals: [Vec<FrameEval>; 3] = [Vec::new(), Vec::new(), Vec::new()];
         let mut sim = SceneSimulation::new(scene, VideoConfig::default(), opts.seed);
-        let mut content_extractor = ProxyExtractor::new(
-            DetectorProxy::ssdlite_mobilenet_v2(),
-            rng.fork("content"),
-        );
+        let mut content_extractor =
+            ProxyExtractor::new(DetectorProxy::ssdlite_mobilenet_v2(), rng.fork("content"));
         for frame in sim.frames(frames) {
             let bounds = Rect::from_size(frame.frame_size);
             let truths = frame.object_rects();

@@ -14,7 +14,8 @@ fn main() {
     println!("== Fig. 3(a): RoI proportion over time (sampled every 10 frames) ==\n");
 
     let mut cdf = EmpiricalCdf::new();
-    let mut series_table = TextTable::new(["scene", "mean", "min", "max", "samples (every 10th frame)"]);
+    let mut series_table =
+        TextTable::new(["scene", "mean", "min", "max", "samples (every 10th frame)"]);
     for scene in SceneId::all() {
         let mut sim = SceneSimulation::new(scene, VideoConfig::default(), opts.seed);
         let props: Vec<f64> = sim

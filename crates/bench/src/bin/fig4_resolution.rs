@@ -70,7 +70,7 @@ fn main() {
         ResolutionProfile::yolov8x_4k(),
         ResolutionProfile::yolov8x_480p(),
     ];
-    let mut results = vec![Vec::new(), Vec::new()];
+    let mut results = [Vec::new(), Vec::new()];
     for (pi, profile) in profiles.iter().enumerate() {
         let simulator = DetectionSimulator::new(profile.clone());
         for &(_, scale) in &resolutions {
@@ -78,8 +78,7 @@ fn main() {
             let mut rng = DetRng::new(opts.seed).fork_indexed("fig4", pi as u64);
             for scene in SceneId::all().take(5) {
                 let base = SceneProfile::panda(scene).full_frame_ap;
-                let mut sim =
-                    SceneSimulation::new(scene, VideoConfig::default(), opts.seed);
+                let mut sim = SceneSimulation::new(scene, VideoConfig::default(), opts.seed);
                 for frame in sim.frames(frames / 2) {
                     let presented = present_scaled(&frame, scale);
                     let dets = simulator.detect(

@@ -47,22 +47,17 @@ fn main() {
     let mut rng = DetRng::new(opts.seed).fork("fig8");
 
     println!("== Fig. 8: function cost per scene, $ (ours vs paper) ==\n");
-    let mut table = TextTable::new([
-        "scene",
-        "#frames",
-        "Tangram 4x4",
-        "Masked",
-        "Full",
-        "ELF",
-    ]);
+    let mut table = TextTable::new(["scene", "#frames", "Tangram 4x4", "Masked", "Full", "ELF"]);
 
     let mut totals = [0.0f64; 4];
     let mut paper_totals = [0.0f64; 4];
     for scene in SceneId::all() {
         let profile = SceneProfile::panda(scene);
-        let frames = opts
-            .frames
-            .unwrap_or(if opts.quick { 25 } else { profile.eval_frames as usize });
+        let frames = opts.frames.unwrap_or(if opts.quick {
+            25
+        } else {
+            profile.eval_frames as usize
+        });
         let trace: CameraTrace = if opts.quick {
             TraceConfig::proxy_extractor(scene, frames, opts.seed).build()
         } else {
@@ -106,7 +101,11 @@ fn main() {
         table.row([
             scene.to_string(),
             format!("{frames}"),
-            format!("{:.3} ({:.3})", cost[0].get(), paper.first().copied().unwrap_or(0.0)),
+            format!(
+                "{:.3} ({:.3})",
+                cost[0].get(),
+                paper.first().copied().unwrap_or(0.0)
+            ),
             format!("{:.3} ({:.3})", cost[1].get(), paper[1]),
             format!("{:.3} ({:.3})", cost[2].get(), paper[2]),
             format!("{:.3} ({:.3})", cost[3].get(), paper[3]),

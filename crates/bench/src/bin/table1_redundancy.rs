@@ -22,13 +22,15 @@ fn main() {
     ]);
     for scene in SceneId::all() {
         let profile = SceneProfile::panda(scene);
-        let frames = opts
-            .frames
-            .unwrap_or(if opts.quick { 60 } else { profile.total_frames as usize });
+        let frames = opts.frames.unwrap_or(if opts.quick {
+            60
+        } else {
+            profile.total_frames as usize
+        });
         let mut sim = SceneSimulation::new(scene, VideoConfig::default(), opts.seed);
         let truth = sim.frames(frames);
-        let mean_prop = truth.iter().map(FrameTruth::roi_proportion).sum::<f64>()
-            / truth.len() as f64;
+        let mean_prop =
+            truth.iter().map(FrameTruth::roi_proportion).sum::<f64>() / truth.len() as f64;
         // Non-RoI inference share: the fraction of full-frame compute spent
         // outside RoIs. With an affine-in-pixels execution model this is
         // (1 − roi_prop) scaled by the pixel-dependent share of the total;
@@ -38,8 +40,16 @@ fn main() {
             profile.name.to_string(),
             format!("{frames}"),
             format!("{} ({})", sim.tracks_spawned(), profile.person_tracks),
-            format!("{:.2} ({:.2})", mean_prop * 100.0, profile.roi_proportion * 100.0),
-            format!("{:.2} ({:.2})", profile.redundancy * 100.0, profile.redundancy * 100.0),
+            format!(
+                "{:.2} ({:.2})",
+                mean_prop * 100.0,
+                profile.roi_proportion * 100.0
+            ),
+            format!(
+                "{:.2} ({:.2})",
+                profile.redundancy * 100.0,
+                profile.redundancy * 100.0
+            ),
         ]);
     }
     table.print();

@@ -40,9 +40,11 @@ fn main() {
     let mut table = TextTable::new(["scene", "2x2 %", "4x4 %", "6x6 %"]);
     for scene in SceneId::all() {
         let profile = SceneProfile::panda(scene);
-        let frames = opts
-            .frames
-            .unwrap_or(if opts.quick { 25 } else { profile.eval_frames as usize });
+        let frames = opts.frames.unwrap_or(if opts.quick {
+            25
+        } else {
+            profile.eval_frames as usize
+        });
         let use_gmm = !opts.quick;
         let video = VideoConfig {
             render: use_gmm,

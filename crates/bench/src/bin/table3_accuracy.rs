@@ -87,8 +87,7 @@ fn main() {
             for (gi, grid) in grids.iter().enumerate() {
                 let patches = partition(frame.frame_size, *grid, &rois);
                 let presented = present_through_regions(&frame, &patches);
-                let mpx =
-                    patches.iter().map(|p| p.area() as f64).sum::<f64>() / 1.0e6;
+                let mpx = patches.iter().map(|p| p.area() as f64).sum::<f64>() / 1.0e6;
                 let dets = simulator.detect(&presented, mpx, base, bounds, &mut rng);
                 evals[gi + 1].push(FrameEval::new(truths.clone(), dets));
             }

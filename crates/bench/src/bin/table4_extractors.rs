@@ -16,9 +16,7 @@ use tangram_video::codec::CodecModel;
 use tangram_video::generator::{SceneSimulation, VideoConfig};
 use tangram_video::scene::SceneProfile;
 use tangram_vision::detector::DetectorProxy;
-use tangram_vision::extractor::{
-    FlowExtractor, GmmExtractor, ProxyExtractor, RoiExtractor,
-};
+use tangram_vision::extractor::{FlowExtractor, GmmExtractor, ProxyExtractor, RoiExtractor};
 
 /// Paper Table IV: (RoI AP, +Partition AP, BW %) per method.
 const PAPER: [(&str, f64, f64, f64); 4] = [
@@ -31,7 +29,9 @@ const PAPER: [(&str, f64, f64, f64); 4] = [
 fn main() {
     let opts = ExpOpts::from_args();
     let frames = opts.frame_budget(15, 50);
-    let scenes: Vec<SceneId> = SceneId::all().take(if opts.quick { 3 } else { 5 }).collect();
+    let scenes: Vec<SceneId> = SceneId::all()
+        .take(if opts.quick { 3 } else { 5 })
+        .collect();
     let simulator = DetectionSimulator::new(ResolutionProfile::yolov8x_4k());
     let codec = CodecModel::default();
     let grid = PartitionConfig::default();
@@ -48,8 +48,8 @@ fn main() {
         for &scene in &scenes {
             let profile = SceneProfile::panda(scene);
             let base = profile.full_frame_ap;
-            let mut rng =
-                DetRng::new(opts.seed).fork_indexed("t4", (mi * 100 + scene.index() as usize) as u64);
+            let mut rng = DetRng::new(opts.seed)
+                .fork_indexed("t4", (mi * 100 + scene.index() as usize) as u64);
             let needs_raster = mi < 2; // GMM and optical flow read pixels
             let video = VideoConfig {
                 render: needs_raster,

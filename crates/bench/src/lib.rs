@@ -59,8 +59,11 @@ impl ExpOpts {
     /// mode, else `full_default`.
     #[must_use]
     pub fn frame_budget(&self, quick_default: usize, full_default: usize) -> usize {
-        self.frames
-            .unwrap_or(if self.quick { quick_default } else { full_default })
+        self.frames.unwrap_or(if self.quick {
+            quick_default
+        } else {
+            full_default
+        })
     }
 }
 
@@ -129,10 +132,7 @@ impl TextTable {
 /// overlap after merging, so the quadratic term is cheap).
 #[must_use]
 pub fn covered_fraction(object: &Rect, regions: &[Rect]) -> f64 {
-    let pieces: Vec<Rect> = regions
-        .iter()
-        .filter_map(|r| r.intersect(object))
-        .collect();
+    let pieces: Vec<Rect> = regions.iter().filter_map(|r| r.intersect(object)).collect();
     if pieces.is_empty() {
         return 0.0;
     }

@@ -10,9 +10,7 @@
 //! The engine is identical for every policy — Fig. 12's differences come
 //! exclusively from batching decisions.
 
-use crate::policy::baselines::{
-    ClipperPolicy, ElfPolicy, FramePerRequestPolicy, MarkPolicy,
-};
+use crate::policy::baselines::{ClipperPolicy, ElfPolicy, FramePerRequestPolicy, MarkPolicy};
 use crate::policy::{
     Arrival, BatchSpec, BatchingPolicy, CompletionFeedback, FrameArrival, PolicyOutput,
 };
@@ -204,69 +202,68 @@ impl EngineConfig {
             );
         }
 
-        let dispatch =
-            |now: SimTime,
-             spec: BatchSpec,
-             platform: &mut ServerlessPlatform,
-             patch_records: &mut Vec<PatchRecord>,
-             batch_records: &mut Vec<BatchRecord>,
-             events: &mut EventQueue<Event>| {
-                if spec.patches.is_empty() {
-                    return;
-                }
-                let max = platform.spec().max_canvases().max(1);
-                let request = InvocationRequest {
-                    canvases: spec.inputs.min(max),
-                    megapixels: spec.megapixels,
-                    submitted: now,
-                };
-                let outcome = platform
-                    .invoke(request)
-                    .expect("batch sized within the GPU bound");
-                let mut violations = 0usize;
-                for p in &spec.patches {
-                    let record = PatchRecord {
-                        patch: p.id,
-                        camera: p.camera,
-                        frame: p.frame,
-                        generated_at: p.generated_at,
-                        dispatched_at: now,
-                        finished_at: outcome.finished,
-                        slo: p.slo,
-                    };
-                    if record.violated() {
-                        violations += 1;
-                    }
-                    patch_records.push(record);
-                }
-                batch_records.push(BatchRecord {
-                    dispatched_at: now,
-                    inputs: spec.inputs,
-                    patch_count: spec.patches.len(),
-                    execution: outcome.execution,
-                    cold: outcome.cold,
-                    cost: outcome.cost,
-                    efficiencies: spec.canvas_efficiencies,
-                });
-                events.push(
-                    outcome.finished,
-                    Event::Complete {
-                        feedback: CompletionFeedback {
-                            finished: outcome.finished,
-                            execution: outcome.execution,
-                            violations,
-                            inputs: spec.inputs,
-                        },
-                    },
-                );
+        let dispatch = |now: SimTime,
+                        spec: BatchSpec,
+                        platform: &mut ServerlessPlatform,
+                        patch_records: &mut Vec<PatchRecord>,
+                        batch_records: &mut Vec<BatchRecord>,
+                        events: &mut EventQueue<Event>| {
+            if spec.patches.is_empty() {
+                return;
+            }
+            let max = platform.spec().max_canvases().max(1);
+            let request = InvocationRequest {
+                canvases: spec.inputs.min(max),
+                megapixels: spec.megapixels,
+                submitted: now,
             };
+            let outcome = platform
+                .invoke(request)
+                .expect("batch sized within the GPU bound");
+            let mut violations = 0usize;
+            for p in &spec.patches {
+                let record = PatchRecord {
+                    patch: p.id,
+                    camera: p.camera,
+                    frame: p.frame,
+                    generated_at: p.generated_at,
+                    dispatched_at: now,
+                    finished_at: outcome.finished,
+                    slo: p.slo,
+                };
+                if record.violated() {
+                    violations += 1;
+                }
+                patch_records.push(record);
+            }
+            batch_records.push(BatchRecord {
+                dispatched_at: now,
+                inputs: spec.inputs,
+                patch_count: spec.patches.len(),
+                execution: outcome.execution,
+                cold: outcome.cold,
+                cost: outcome.cost,
+                efficiencies: spec.canvas_efficiencies,
+            });
+            events.push(
+                outcome.finished,
+                Event::Complete {
+                    feedback: CompletionFeedback {
+                        finished: outcome.finished,
+                        execution: outcome.execution,
+                        violations,
+                        inputs: spec.inputs,
+                    },
+                },
+            );
+        };
 
         let handle_output = |now: SimTime,
-                                 output: PolicyOutput,
-                                 platform: &mut ServerlessPlatform,
-                                 patch_records: &mut Vec<PatchRecord>,
-                                 batch_records: &mut Vec<BatchRecord>,
-                                 events: &mut EventQueue<Event>| {
+                             output: PolicyOutput,
+                             platform: &mut ServerlessPlatform,
+                             patch_records: &mut Vec<PatchRecord>,
+                             batch_records: &mut Vec<BatchRecord>,
+                             events: &mut EventQueue<Event>| {
             for spec in output.dispatches {
                 dispatch(now, spec, platform, patch_records, batch_records, events);
             }
@@ -332,16 +329,12 @@ impl EngineConfig {
                                 ),
                                 camera: trace.camera,
                                 frame: frame.frame,
-                                rect: tangram_types::geometry::Rect::from_size(
-                                    Size::UHD_4K,
-                                ),
+                                rect: tangram_types::geometry::Rect::from_size(Size::UHD_4K),
                                 generated_at,
                                 slo: self.slo,
                             },
                             |p| PatchInfo {
-                                id: tangram_types::ids::PatchId::new(
-                                    p.info.id.raw() | (1 << 39),
-                                ),
+                                id: tangram_types::ids::PatchId::new(p.info.id.raw() | (1 << 39)),
                                 rect: tangram_types::geometry::Rect::from_size(Size::UHD_4K),
                                 generated_at,
                                 slo: self.slo,

@@ -15,8 +15,8 @@
 //! input, which is exactly the wedge the paper's Fig. 12 isolates.
 
 use crate::policy::{
-    padded_inputs_megapixels, Arrival, BatchSpec, BatchingPolicy, CompletionFeedback,
-    FrameArrival, PolicyOutput,
+    padded_inputs_megapixels, Arrival, BatchSpec, BatchingPolicy, CompletionFeedback, FrameArrival,
+    PolicyOutput,
 };
 use tangram_types::geometry::Size;
 use tangram_types::patch::PatchInfo;
@@ -108,8 +108,7 @@ impl BatchingPolicy for ElfPolicy {
     fn on_arrival(&mut self, _now: SimTime, arrival: Arrival) -> PolicyOutput {
         match arrival {
             Arrival::Patch(p) => {
-                let mpx =
-                    (p.info.rect.area() as f64 / 1.0e6).max(self.min_input_megapixels);
+                let mpx = (p.info.rect.area() as f64 / 1.0e6).max(self.min_input_megapixels);
                 PolicyOutput::dispatch(BatchSpec {
                     patches: vec![p.info],
                     inputs: 1,

@@ -142,7 +142,10 @@ impl RunReport {
         if self.batches.is_empty() {
             return 0.0;
         }
-        self.batches.iter().map(|b| b.patch_count as f64).sum::<f64>()
+        self.batches
+            .iter()
+            .map(|b| b.patch_count as f64)
+            .sum::<f64>()
             / self.batches.len() as f64
     }
 

@@ -72,7 +72,10 @@ impl TangramScheduler {
     /// or `max_canvases` is zero.
     #[must_use]
     pub fn new(config: SchedulerConfig, estimator: LatencyEstimator) -> Self {
-        assert!(config.max_canvases > 0, "need at least one canvas per batch");
+        assert!(
+            config.max_canvases > 0,
+            "need at least one canvas per batch"
+        );
         assert_eq!(
             estimator.canvas(),
             config.canvas_size,
@@ -302,7 +305,10 @@ mod tests {
         assert!(out.dispatches.is_empty(), "plenty of budget: wait");
         let invoke_by = out.next_wake.expect("timer armed");
         // t_remain = deadline (1 s) − slack(1 canvas) ≈ 1 s − ~0.1 s.
-        assert!(invoke_by > t(700) && invoke_by < t(1000), "invoke_by {invoke_by}");
+        assert!(
+            invoke_by > t(700) && invoke_by < t(1000),
+            "invoke_by {invoke_by}"
+        );
         assert_eq!(s.queue_len(), 1);
     }
 

@@ -146,9 +146,7 @@ impl TraceConfig {
     pub fn build(&self) -> CameraTrace {
         let render = matches!(self.extractor, ExtractorKind::Gmm { .. });
         let raster_scale = match self.extractor {
-            ExtractorKind::Gmm { raster_scale_milli } => {
-                f64::from(raster_scale_milli) / 1000.0
-            }
+            ExtractorKind::Gmm { raster_scale_milli } => f64::from(raster_scale_milli) / 1000.0,
             ExtractorKind::Proxy => 0.25,
         };
         let video = VideoConfig {

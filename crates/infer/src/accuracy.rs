@@ -161,11 +161,10 @@ impl DetectionSimulator {
             return 0.0;
         }
         // Partially visible objects are harder: ramp from min_visible→1.
-        let vis = ((obj.visible_fraction - self.min_visible) / (1.0 - self.min_visible))
-            .clamp(0.0, 1.0);
+        let vis =
+            ((obj.visible_fraction - self.min_visible) / (1.0 - self.min_visible)).clamp(0.0, 1.0);
         let vis_factor = 0.5 + 0.5 * vis;
-        (scene_base * self.profile.size_factor(obj.presented_area) * vis_factor)
-            .clamp(0.0, 1.0)
+        (scene_base * self.profile.size_factor(obj.presented_area) * vis_factor).clamp(0.0, 1.0)
     }
 
     /// Runs the detector over presented objects plus `presented_mpx` of
@@ -215,9 +214,7 @@ impl DetectionSimulator {
         let y = (f64::from(rect.y) + rng.normal(0.0, jh)).max(0.0) as u32;
         let w = ((f64::from(rect.width) * (1.0 + rng.normal(0.0, self.jitter))).max(4.0)) as u32;
         let h = ((f64::from(rect.height) * (1.0 + rng.normal(0.0, self.jitter))).max(4.0)) as u32;
-        Rect::new(x, y, w, h)
-            .clamped(bounds)
-            .unwrap_or(rect)
+        Rect::new(x, y, w, h).clamped(bounds).unwrap_or(rect)
     }
 }
 

@@ -81,10 +81,7 @@ pub fn average_precision(frames: &[FrameEval], iou_threshold: f64) -> f64 {
             }
             None => fp += 1,
         }
-        curve.push((
-            tp as f64 / total_truth as f64,
-            tp as f64 / (tp + fp) as f64,
-        ));
+        curve.push((tp as f64 / total_truth as f64, tp as f64 / (tp + fp) as f64));
     }
     if curve.is_empty() {
         return 0.0;
@@ -133,7 +130,10 @@ mod tests {
 
     #[test]
     fn no_ground_truth_is_zero() {
-        let frames = [FrameEval::new(vec![], vec![det(Rect::new(0, 0, 10, 10), 0.9)])];
+        let frames = [FrameEval::new(
+            vec![],
+            vec![det(Rect::new(0, 0, 10, 10), 0.9)],
+        )];
         assert_eq!(ap50(&frames), 0.0);
     }
 
@@ -224,6 +224,9 @@ mod tests {
         };
         let frames: Vec<FrameEval> = (0..10).map(|i| make_frame(i % 2 == 0)).collect();
         let ap = ap50(&frames);
-        assert!((ap - 0.5).abs() < 1e-12, "5/10 recalled at precision 1: {ap}");
+        assert!(
+            (ap - 0.5).abs() < 1e-12,
+            "5/10 recalled at precision 1: {ap}"
+        );
     }
 }

@@ -109,8 +109,14 @@ mod tests {
         let canvas = Size::CANVAS_1024;
         let one = m.mean(InferenceLatencyModel::batch_megapixels(1, canvas));
         let nine = m.mean(InferenceLatencyModel::batch_megapixels(9, canvas));
-        assert!(one.as_millis() >= 60 && one.as_millis() <= 150, "1 canvas: {one}");
-        assert!(nine.as_millis() >= 350 && nine.as_millis() <= 600, "9 canvases: {nine}");
+        assert!(
+            one.as_millis() >= 60 && one.as_millis() <= 150,
+            "1 canvas: {one}"
+        );
+        assert!(
+            nine.as_millis() >= 350 && nine.as_millis() <= 600,
+            "9 canvases: {nine}"
+        );
     }
 
     #[test]
@@ -119,7 +125,10 @@ mod tests {
         // the ~4 canvases Tangram stitches the same content into.
         let m = InferenceLatencyModel::alibaba_gpu_slice();
         let full = m.mean(Size::UHD_4K.megapixels());
-        let stitched = m.mean(InferenceLatencyModel::batch_megapixels(4, Size::CANVAS_1024));
+        let stitched = m.mean(InferenceLatencyModel::batch_megapixels(
+            4,
+            Size::CANVAS_1024,
+        ));
         assert!(full.as_secs_f64() > 1.5 * stitched.as_secs_f64());
     }
 
@@ -128,8 +137,10 @@ mod tests {
         let m = InferenceLatencyModel::rtx4090_yolov8x();
         let mut rng = DetRng::new(7);
         let n = 4000;
-        let mean_s: f64 =
-            (0..n).map(|_| m.sample(2.0, &mut rng).as_secs_f64()).sum::<f64>() / n as f64;
+        let mean_s: f64 = (0..n)
+            .map(|_| m.sample(2.0, &mut rng).as_secs_f64())
+            .sum::<f64>()
+            / n as f64;
         let expected = m.mean(2.0).as_secs_f64();
         assert!(
             (mean_s / expected - 1.0).abs() < 0.03,

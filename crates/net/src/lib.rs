@@ -210,10 +210,8 @@ mod tests {
     #[test]
     fn jitter_adds_positive_delay() {
         let config = LinkConfig::mbps(80.0).with_jitter(SimDuration::from_millis(5));
-        let base = Link::new(LinkConfig::mbps(80.0))
-            .enqueue(SimTime::ZERO, Bytes::new(100_000));
-        let mut jittered =
-            Link::new(config).with_jitter_rng(DetRng::new(1).fork("jitter"));
+        let base = Link::new(LinkConfig::mbps(80.0)).enqueue(SimTime::ZERO, Bytes::new(100_000));
+        let mut jittered = Link::new(config).with_jitter_rng(DetRng::new(1).fork("jitter"));
         let d = jittered.enqueue(SimTime::ZERO, Bytes::new(100_000));
         assert!(d > base);
     }

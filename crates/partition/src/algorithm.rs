@@ -103,11 +103,7 @@ pub fn partition(frame: Size, config: PartitionConfig, rois: &[Rect]) -> Vec<Rec
 ///    RoI list;
 /// 4. cut each resized zone as a patch.
 #[must_use]
-pub fn partition_detailed(
-    frame: Size,
-    config: PartitionConfig,
-    rois: &[Rect],
-) -> Vec<ZonePatch> {
+pub fn partition_detailed(frame: Size, config: PartitionConfig, rois: &[Rect]) -> Vec<ZonePatch> {
     let zone_rects: Vec<Rect> = config.zones(frame).collect();
     let mut lists: Vec<Vec<usize>> = vec![Vec::new(); zone_rects.len()];
 
@@ -239,14 +235,7 @@ mod tests {
     fn finer_grids_produce_tighter_coverage() {
         // The Table II driver: coarser grids enclose more background.
         let rois: Vec<Rect> = (0..24)
-            .map(|i| {
-                Rect::new(
-                    200 + (i % 6) * 600,
-                    200 + (i / 6) * 450,
-                    80,
-                    120,
-                )
-            })
+            .map(|i| Rect::new(200 + (i % 6) * 600, 200 + (i / 6) * 450, 80, 120))
             .collect();
         let area = |cfg: PartitionConfig| -> u64 {
             partition(FRAME, cfg, &rois).iter().map(Rect::area).sum()

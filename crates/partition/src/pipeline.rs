@@ -89,14 +89,11 @@ impl<E: RoiExtractor> EdgePipeline<E> {
     /// Patch ids are globally unique: the camera id occupies the high bits.
     pub fn process(&mut self, frame: &FrameTruth) -> FrameOutput {
         let rois = self.extractor.extract(frame);
-        let zone_patches =
-            partition_detailed(frame.frame_size, self.config.partition, &rois);
+        let zone_patches = partition_detailed(frame.frame_size, self.config.partition, &rois);
         let mut patches = Vec::with_capacity(zone_patches.len());
         let mut uploaded = Bytes::ZERO;
         for zp in &zone_patches {
-            let id = PatchId::new(
-                (u64::from(self.config.camera.raw()) << 40) | self.next_patch,
-            );
+            let id = PatchId::new((u64::from(self.config.camera.raw()) << 40) | self.next_patch);
             self.next_patch += 1;
             let info = PatchInfo::new(
                 id,
@@ -130,8 +127,7 @@ mod tests {
 
     fn pipeline() -> EdgePipeline<ProxyExtractor> {
         let config = EdgePipelineConfig::new(CameraId::new(3), SimDuration::from_secs(1));
-        let extractor =
-            ProxyExtractor::new(DetectorProxy::ssdlite_mobilenet_v2(), DetRng::new(1));
+        let extractor = ProxyExtractor::new(DetectorProxy::ssdlite_mobilenet_v2(), DetRng::new(1));
         EdgePipeline::new(config, extractor)
     }
 

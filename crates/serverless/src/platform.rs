@@ -289,9 +289,7 @@ impl ServerlessPlatform {
         let mean = self.cold_start_mean.as_secs_f64();
         // Lognormal with mean ≈ cold_start_mean and a fat-ish tail.
         let sigma = 0.35f64;
-        SimDuration::from_secs_f64(
-            self.rng.lognormal(mean.ln() - sigma * sigma / 2.0, sigma),
-        )
+        SimDuration::from_secs_f64(self.rng.lognormal(mean.ln() - sigma * sigma / 2.0, sigma))
     }
 }
 
@@ -339,9 +337,7 @@ mod tests {
         let mut p = platform();
         let first = p.invoke(req(1, 0)).unwrap();
         // Submit after the first finishes: instance is warm and idle.
-        let second = p
-            .invoke(req(1, first.finished.as_micros() + 1000))
-            .unwrap();
+        let second = p.invoke(req(1, first.finished.as_micros() + 1000)).unwrap();
         assert!(!second.cold);
         assert_eq!(second.instance, first.instance);
         assert_eq!(second.started, second.finished - second.execution);
@@ -362,8 +358,7 @@ mod tests {
     fn keep_alive_expiry_forces_cold_start() {
         let mut p = platform();
         let first = p.invoke(req(1, 0)).unwrap();
-        let after_expiry =
-            first.finished + p.keep_alive + SimDuration::from_secs(1);
+        let after_expiry = first.finished + p.keep_alive + SimDuration::from_secs(1);
         let second = p.invoke(req(1, after_expiry.as_micros())).unwrap();
         assert!(second.cold, "keep-alive elapsed; must cold start");
     }

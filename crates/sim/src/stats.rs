@@ -105,10 +105,9 @@ impl OnlineStats {
         }
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
-        let new_mean =
-            self.mean + delta * other.count as f64 / total as f64;
-        self.m2 += other.m2
-            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        let new_mean = self.mean + delta * other.count as f64 / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.mean = new_mean;
         self.count = total;
         self.min = self.min.min(other.min);
@@ -202,7 +201,11 @@ impl EmpiricalCdf {
         let len = self.samples.len();
         (0..n)
             .map(|i| {
-                let idx = if n == 1 { len - 1 } else { i * (len - 1) / (n - 1) };
+                let idx = if n == 1 {
+                    len - 1
+                } else {
+                    i * (len - 1) / (n - 1)
+                };
                 (self.samples[idx], (idx + 1) as f64 / len as f64)
             })
             .collect()

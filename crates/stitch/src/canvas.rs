@@ -108,10 +108,7 @@ impl Canvas {
     /// The earliest deadline among the canvas's patches (`None` if empty).
     #[must_use]
     pub fn earliest_deadline(&self) -> Option<SimTime> {
-        self.placements
-            .iter()
-            .map(|p| p.patch.deadline())
-            .min()
+        self.placements.iter().map(|p| p.patch.deadline()).min()
     }
 }
 
@@ -149,10 +146,7 @@ mod tests {
         assert_eq!(c.earliest_deadline(), None);
         c.place(patch(1, 10, 10, 500_000), Point::new(0, 0));
         c.place(patch(2, 10, 10, 100_000), Point::new(20, 0));
-        assert_eq!(
-            c.earliest_deadline(),
-            Some(SimTime::from_micros(1_100_000))
-        );
+        assert_eq!(c.earliest_deadline(), Some(SimTime::from_micros(1_100_000)));
     }
 
     #[test]

@@ -27,12 +27,7 @@ impl<'a> CanvasMapping<'a> {
     /// overlaps `rect` in the given camera/frame (an object straddling two
     /// patches appears clipped in both).
     #[must_use]
-    pub fn frame_to_canvas(
-        &self,
-        camera: CameraId,
-        frame: FrameId,
-        rect: Rect,
-    ) -> Vec<Rect> {
+    pub fn frame_to_canvas(&self, camera: CameraId, frame: FrameId, rect: Rect) -> Vec<Rect> {
         let mut out = Vec::new();
         for p in &self.canvas.placements {
             if p.patch.camera != camera || p.patch.frame != frame {
@@ -94,7 +89,11 @@ mod tests {
         let m = CanvasMapping::new(&c);
         // An object at (1100, 600, 50, 60) in the frame sits at offset
         // (100, 100) inside the patch → canvas (200, 300).
-        let mapped = m.frame_to_canvas(CameraId::new(2), FrameId::new(3), Rect::new(1100, 600, 50, 60));
+        let mapped = m.frame_to_canvas(
+            CameraId::new(2),
+            FrameId::new(3),
+            Rect::new(1100, 600, 50, 60),
+        );
         assert_eq!(mapped, vec![Rect::new(200, 300, 50, 60)]);
     }
 
@@ -103,7 +102,11 @@ mod tests {
         let c = canvas_with_patch();
         let m = CanvasMapping::new(&c);
         // Object half outside the patch: only the covered part maps.
-        let mapped = m.frame_to_canvas(CameraId::new(2), FrameId::new(3), Rect::new(950, 550, 100, 50));
+        let mapped = m.frame_to_canvas(
+            CameraId::new(2),
+            FrameId::new(3),
+            Rect::new(950, 550, 100, 50),
+        );
         assert_eq!(mapped, vec![Rect::new(100, 250, 50, 50)]);
     }
 
@@ -112,10 +115,18 @@ mod tests {
         let c = canvas_with_patch();
         let m = CanvasMapping::new(&c);
         assert!(m
-            .frame_to_canvas(CameraId::new(9), FrameId::new(3), Rect::new(1100, 600, 10, 10))
+            .frame_to_canvas(
+                CameraId::new(9),
+                FrameId::new(3),
+                Rect::new(1100, 600, 10, 10)
+            )
             .is_empty());
         assert!(m
-            .frame_to_canvas(CameraId::new(2), FrameId::new(9), Rect::new(1100, 600, 10, 10))
+            .frame_to_canvas(
+                CameraId::new(2),
+                FrameId::new(9),
+                Rect::new(1100, 600, 10, 10)
+            )
             .is_empty());
     }
 

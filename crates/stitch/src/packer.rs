@@ -74,9 +74,7 @@ impl Packer for GuillotinePacker {
             .iter()
             .enumerate()
             .filter(|(_, c)| c.size().fits(size))
-            .min_by_key(|(_, c)| {
-                (c.width - size.width).min(c.height - size.height)
-            })?;
+            .min_by_key(|(_, c)| (c.width - size.width).min(c.height - size.height))?;
         let cell = self.free.swap_remove(idx);
         let origin = cell.origin();
         // Remaining space after placing at the corner: a right strip of
@@ -326,10 +324,7 @@ mod tests {
         for (i, r) in rects.iter().enumerate() {
             assert!(bounds.contains_rect(r), "placement {r} escapes canvas");
             for other in &rects[..i] {
-                assert!(
-                    !r.intersects(other),
-                    "placements overlap: {r} vs {other}"
-                );
+                assert!(!r.intersects(other), "placements overlap: {r} vs {other}");
             }
         }
     }

@@ -231,7 +231,7 @@ mod tests {
     #[test]
     fn overflow_opens_new_canvas() {
         // Three 700x700 patches cannot share a 1024 canvas.
-        let sizes = vec![Size::new(700, 700); 3];
+        let sizes = [Size::new(700, 700); 3];
         let canvases = solver().stitch_sizes(&sizes).unwrap();
         assert_eq!(canvases.len(), 3);
     }
@@ -253,9 +253,7 @@ mod tests {
 
     #[test]
     fn oversized_patch_is_an_error() {
-        let err = solver()
-            .stitch_sizes(&[Size::new(2000, 100)])
-            .unwrap_err();
+        let err = solver().stitch_sizes(&[Size::new(2000, 100)]).unwrap_err();
         assert!(matches!(err, StitchError::PatchTooLarge { .. }));
         assert!(err.to_string().contains("split it first"));
     }
@@ -286,7 +284,7 @@ mod tests {
 
     #[test]
     fn fits_within_reflects_canvas_count() {
-        let sizes = vec![Size::new(700, 700); 3];
+        let sizes = [Size::new(700, 700); 3];
         let s = solver();
         let patches: Vec<PatchInfo> = {
             use tangram_types::ids::{CameraId, FrameId, PatchId};

@@ -83,9 +83,7 @@ define_id!(
 
 /// One of the ten PANDA-style evaluation scenes (1-based, matching the
 /// paper's `scene_01`..`scene_10`).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct SceneId(u8);
 
 impl SceneId {

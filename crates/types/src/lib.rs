@@ -29,9 +29,7 @@ pub mod units;
 
 pub use error::ValidationError;
 pub use geometry::{Point, Rect, Size};
-pub use ids::{
-    BatchId, CameraId, CanvasId, FrameId, InstanceId, InvocationId, PatchId, SceneId,
-};
+pub use ids::{BatchId, CameraId, CanvasId, FrameId, InstanceId, InvocationId, PatchId, SceneId};
 pub use patch::{Patch, PatchInfo};
 pub use time::{SimDuration, SimTime};
 pub use units::{Bandwidth, Bytes, Dollars, GigaBytes};

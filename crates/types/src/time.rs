@@ -314,7 +314,10 @@ mod tests {
 
     #[test]
     fn duration_constructors_agree() {
-        assert_eq!(SimDuration::from_millis(1500), SimDuration::from_micros(1_500_000));
+        assert_eq!(
+            SimDuration::from_millis(1500),
+            SimDuration::from_micros(1_500_000)
+        );
         assert_eq!(SimDuration::from_secs(2), SimDuration::from_millis(2000));
         assert_eq!(
             SimDuration::from_secs_f64(1.5),
@@ -332,7 +335,10 @@ mod tests {
     #[test]
     fn duration_nan_clamps_to_zero() {
         assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_secs_f64(f64::NEG_INFINITY), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_secs_f64(f64::NEG_INFINITY),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

@@ -94,8 +94,7 @@ impl CodecModel {
     /// quality).
     #[must_use]
     pub fn patch_bytes(&self, patch: Rect) -> Bytes {
-        self.patch_header
-            + Bytes::new((patch.area() as f64 * self.crop_bpp / 8.0).round() as u64)
+        self.patch_header + Bytes::new((patch.area() as f64 * self.crop_bpp / 8.0).round() as u64)
     }
 
     /// Bytes for one ELF high-quality patch.
@@ -138,8 +137,8 @@ mod tests {
         let codec = CodecModel::default();
         let frame = Size::UHD_4K;
         let patches = coverage_patches(frame, 0.20, 10);
-        let ratio = codec.patches_bytes(&patches).get() as f64
-            / codec.full_frame_bytes(frame).get() as f64;
+        let ratio =
+            codec.patches_bytes(&patches).get() as f64 / codec.full_frame_bytes(frame).get() as f64;
         assert!((0.2..0.5).contains(&ratio), "ratio {ratio}");
     }
 
@@ -161,7 +160,10 @@ mod tests {
         for regions in [4usize, 8, 12, 16] {
             let ratio = codec.masked_frame_bytes(frame, regions).get() as f64
                 / codec.full_frame_bytes(frame).get() as f64;
-            assert!((0.9..1.25).contains(&ratio), "regions {regions}: ratio {ratio}");
+            assert!(
+                (0.9..1.25).contains(&ratio),
+                "regions {regions}: ratio {ratio}"
+            );
         }
     }
 

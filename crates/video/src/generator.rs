@@ -119,9 +119,13 @@ impl SceneSimulation {
         let centers: Vec<ClusterCenter> = (0..profile.cluster_count)
             .map(|_| ClusterCenter::spawn(profile.frame_size, &mut rng))
             .collect();
-        let renderer = config
-            .render
-            .then(|| FrameRenderer::new(root.fork("render").seed(), profile.frame_size, config.raster_scale));
+        let renderer = config.render.then(|| {
+            FrameRenderer::new(
+                root.fork("render").seed(),
+                profile.frame_size,
+                config.raster_scale,
+            )
+        });
         let mut sim = Self {
             profile,
             config,
@@ -163,7 +167,9 @@ impl SceneSimulation {
         }
         measured /= f64::from(calibration_window);
         if measured > 0.0 {
-            let correction = (sim.profile.roi_proportion / measured).sqrt().clamp(0.5, 2.0);
+            let correction = (sim.profile.roi_proportion / measured)
+                .sqrt()
+                .clamp(0.5, 2.0);
             sim.size_correction = correction;
             for w in &mut sim.walkers {
                 w.scale_width(correction);
@@ -275,8 +281,7 @@ impl SceneSimulation {
         self.proportion_ema = 0.97 * self.proportion_ema + 0.03 * realized;
         if self.proportion_ema > 0.0 {
             let error = self.profile.roi_proportion / self.proportion_ema;
-            self.size_correction =
-                (self.size_correction * error.powf(0.01)).clamp(0.3, 3.0);
+            self.size_correction = (self.size_correction * error.powf(0.01)).clamp(0.3, 3.0);
         }
     }
 
@@ -402,7 +407,11 @@ mod tests {
     #[test]
     fn proportion_fluctuates_over_time() {
         let mut s = sim(3);
-        let props: Vec<f64> = s.frames(150).iter().map(FrameTruth::roi_proportion).collect();
+        let props: Vec<f64> = s
+            .frames(150)
+            .iter()
+            .map(FrameTruth::roi_proportion)
+            .collect();
         let mean = props.iter().sum::<f64>() / props.len() as f64;
         let max = props.iter().cloned().fold(0.0f64, f64::max);
         let min = props.iter().cloned().fold(1.0f64, f64::min);

@@ -113,8 +113,7 @@ impl Walker {
         // current mean cluster perspective so the population's expected
         // area stays stationary while the clusters wander in depth.
         let persp_of = |py: f64| 0.6 + 0.8 * (py / f64::from(frame.height));
-        let mean_persp =
-            centers.iter().map(|c| persp_of(c.y)).sum::<f64>() / centers.len() as f64;
+        let mean_persp = centers.iter().map(|c| persp_of(c.y)).sum::<f64>() / centers.len() as f64;
         let perspective = persp_of(y) / mean_persp;
         let width = (mean_width * rng.lognormal(-0.06, 0.35) * perspective).max(8.0);
         let height = (width * rng.uniform_in(1.6, 2.2)).max(12.0);
@@ -177,7 +176,12 @@ impl Walker {
         let y0 = (self.y - h / 2.0).max(0.0) as u32;
         let x1 = ((self.x + w / 2.0) as u32).min(frame.width.saturating_sub(1));
         let y1 = ((self.y + h / 2.0) as u32).min(frame.height.saturating_sub(1));
-        Rect::new(x0, y0, (x1.saturating_sub(x0)).max(1), (y1.saturating_sub(y0)).max(1))
+        Rect::new(
+            x0,
+            y0,
+            (x1.saturating_sub(x0)).max(1),
+            (y1.saturating_sub(y0)).max(1),
+        )
     }
 }
 

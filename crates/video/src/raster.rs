@@ -73,7 +73,10 @@ impl Raster {
     /// Panics when out of bounds.
     #[must_use]
     pub fn get(&self, x: u32, y: u32) -> u8 {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.data[y as usize * self.width as usize + x as usize]
     }
 
@@ -83,7 +86,10 @@ impl Raster {
     ///
     /// Panics when out of bounds.
     pub fn set(&mut self, x: u32, y: u32, v: u8) {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.data[y as usize * self.width as usize + x as usize] = v;
     }
 
@@ -125,12 +131,10 @@ impl FrameRenderer {
     pub fn new(seed: u64, frame_size: Size, scale: f64) -> Self {
         let raster_size = frame_size.scaled(scale);
         assert!(!raster_size.is_empty(), "raster scale too small");
-        let mut background =
-            vec![0u8; raster_size.area() as usize];
+        let mut background = vec![0u8; raster_size.area() as usize];
         for y in 0..raster_size.height {
             for x in 0..raster_size.width {
-                background[(y * raster_size.width + x) as usize] =
-                    background_texel(seed, x, y);
+                background[(y * raster_size.width + x) as usize] = background_texel(seed, x, y);
             }
         }
         Self {
@@ -173,17 +177,17 @@ impl FrameRenderer {
             return;
         };
         // Per-object base shade chosen to contrast with the ~118 background.
-        let shade = 42 + (hash3(self.seed ^ obj.track, 1, 2) % 70) as i32
-            + if obj.track % 3 == 0 { 110 } else { 0 };
+        let shade = 42
+            + (hash3(self.seed ^ obj.track, 1, 2) % 70) as i32
+            + if obj.track.is_multiple_of(3) { 110 } else { 0 };
         for y in r.y..r.bottom() {
             for x in r.x..r.right() {
                 // Clothing texture: low-amplitude per-pixel variation that
                 // moves with the object (hash keyed by object-local coords).
                 let lx = x - r.x;
                 let ly = y - r.y;
-                let tex = (hash3(self.seed ^ obj.track, u64::from(lx), u64::from(ly)) % 25)
-                    as i32
-                    - 12;
+                let tex =
+                    (hash3(self.seed ^ obj.track, u64::from(lx), u64::from(ly)) % 25) as i32 - 12;
                 raster.set(x, y, (shade + tex).clamp(0, 255) as u8);
             }
         }
@@ -196,11 +200,13 @@ impl FrameRenderer {
         // Approximate Gaussian noise as the sum of two uniform hashes
         // (triangular distribution, σ ≈ range/√6) — cheap and deterministic.
         let amp = (self.noise_sigma * 2.449).round().max(1.0) as i32; // √6 ≈ 2.449
-        let key = self.seed.wrapping_mul(0x9e37_79b9).wrapping_add(frame_index);
+        let key = self
+            .seed
+            .wrapping_mul(0x9e37_79b9)
+            .wrapping_add(frame_index);
         for (i, px) in raster.data.iter_mut().enumerate() {
             let h = hash3(key, i as u64, 0);
-            let n = ((h % (amp as u64 + 1)) as i32) + (((h >> 32) % (amp as u64 + 1)) as i32)
-                - amp;
+            let n = ((h % (amp as u64 + 1)) as i32) + (((h >> 32) % (amp as u64 + 1)) as i32) - amp;
             *px = (i32::from(*px) + n).clamp(0, 255) as u8;
         }
     }

@@ -118,6 +118,9 @@ const FRAME_4K: Size = Size::UHD_4K;
 /// Calibration table. Columns 2–7 are copied from the paper (Tables I,
 /// III; Figs. 2a, 8); the dynamics columns are fitted as described in the
 /// module docs.
+// Some fitted churn rates happen to land near π/τ; they are workload
+// calibration data, not trigonometry.
+#[allow(clippy::approx_constant)]
 static PANDA_SCENES: [SceneProfile; 10] = [
     SceneProfile {
         id: 1,
@@ -373,11 +376,7 @@ mod tests {
         // Fig. 4a: RoI widths up to ~250 px, heights up to ~400 px at 4K.
         for p in SceneProfile::all() {
             let w = p.mean_object_width();
-            assert!(
-                (20.0..200.0).contains(&w),
-                "{}: mean width {w}",
-                p.name
-            );
+            assert!((20.0..200.0).contains(&w), "{}: mean width {w}", p.name);
         }
     }
 

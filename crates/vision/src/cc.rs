@@ -129,7 +129,12 @@ pub fn connected_components(mask: &BitMask, min_pixels: u32) -> Vec<Component> {
             (
                 a.order,
                 Component {
-                    rect: Rect::new(a.min_x, a.min_y, a.max_x - a.min_x + 1, a.max_y - a.min_y + 1),
+                    rect: Rect::new(
+                        a.min_x,
+                        a.min_y,
+                        a.max_x - a.min_x + 1,
+                        a.max_y - a.min_y + 1,
+                    ),
                     pixels: a.pixels,
                 },
             )
@@ -159,12 +164,7 @@ mod tests {
 
     #[test]
     fn single_block() {
-        let m = mask_from_art(&[
-            "..........",
-            "..###.....",
-            "..###.....",
-            "..........",
-        ]);
+        let m = mask_from_art(&["..........", "..###.....", "..###.....", ".........."]);
         let comps = connected_components(&m, 1);
         assert_eq!(comps.len(), 1);
         assert_eq!(comps[0].rect, Rect::new(2, 1, 3, 2));
@@ -173,12 +173,7 @@ mod tests {
 
     #[test]
     fn two_separate_blobs() {
-        let m = mask_from_art(&[
-            "##.....",
-            "##.....",
-            ".....##",
-            ".....##",
-        ]);
+        let m = mask_from_art(&["##.....", "##.....", ".....##", ".....##"]);
         let comps = connected_components(&m, 1);
         assert_eq!(comps.len(), 2);
         assert_eq!(comps[0].rect, Rect::new(0, 0, 2, 2));
@@ -187,10 +182,7 @@ mod tests {
 
     #[test]
     fn diagonal_pixels_are_separate_under_4_connectivity() {
-        let m = mask_from_art(&[
-            "#.",
-            ".#",
-        ]);
+        let m = mask_from_art(&["#.", ".#"]);
         assert_eq!(connected_components(&m, 1).len(), 2);
     }
 
@@ -198,11 +190,7 @@ mod tests {
     fn u_shape_merges_via_equivalence() {
         // The two arms of the U get different provisional labels that must
         // merge through the bottom row.
-        let m = mask_from_art(&[
-            "#.#",
-            "#.#",
-            "###",
-        ]);
+        let m = mask_from_art(&["#.#", "#.#", "###"]);
         let comps = connected_components(&m, 1);
         assert_eq!(comps.len(), 1);
         assert_eq!(comps[0].rect, Rect::new(0, 0, 3, 3));
@@ -211,12 +199,7 @@ mod tests {
 
     #[test]
     fn min_pixels_filters_specks() {
-        let m = mask_from_art(&[
-            "#....",
-            ".....",
-            "..###",
-            "..###",
-        ]);
+        let m = mask_from_art(&["#....", ".....", "..###", "..###"]);
         let comps = connected_components(&m, 3);
         assert_eq!(comps.len(), 1);
         assert_eq!(comps[0].pixels, 6);

@@ -123,17 +123,12 @@ impl RoiExtractor for GmmExtractor {
         // Closing bridges the torso/leg fragments of one person; opening
         // then removes isolated noise specks.
         let cleaned = mask.closed().opened();
-        let min_pixels =
-            (self.min_component_fraction * raster.size().area() as f64).ceil() as u32;
+        let min_pixels = (self.min_component_fraction * raster.size().area() as f64).ceil() as u32;
         let scale_up = 1.0 / raster.scale();
         let frame_bounds = Rect::from_size(frame.frame_size);
         let boxes: Vec<Rect> = connected_components(&cleaned, min_pixels.max(2))
             .into_iter()
-            .map(|c| {
-                c.rect
-                    .scaled(scale_up)
-                    .inflated(self.margin, &frame_bounds)
-            })
+            .map(|c| c.rect.scaled(scale_up).inflated(self.margin, &frame_bounds))
             .collect();
         merge_overlapping(boxes, 8)
     }
@@ -183,17 +178,12 @@ impl RoiExtractor for FlowExtractor {
             .as_ref()
             .expect("FlowExtractor requires rendered frames (VideoConfig::render = true)");
         let mask = self.matcher.apply(raster).dilated();
-        let min_pixels =
-            (self.min_component_fraction * raster.size().area() as f64).ceil() as u32;
+        let min_pixels = (self.min_component_fraction * raster.size().area() as f64).ceil() as u32;
         let scale_up = 1.0 / raster.scale();
         let frame_bounds = Rect::from_size(frame.frame_size);
         let boxes: Vec<Rect> = connected_components(&mask, min_pixels.max(2))
             .into_iter()
-            .map(|c| {
-                c.rect
-                    .scaled(scale_up)
-                    .inflated(self.margin, &frame_bounds)
-            })
+            .map(|c| c.rect.scaled(scale_up).inflated(self.margin, &frame_bounds))
             .collect();
         merge_overlapping(boxes, 8)
     }

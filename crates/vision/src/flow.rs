@@ -124,9 +124,8 @@ impl BlockMatcher {
                             break;
                         }
                         sad += f64::from(
-                            i32::from(cur.get(cx, cy)).abs_diff(i32::from(
-                                prev.get(px as u32, py as u32),
-                            )),
+                            i32::from(cur.get(cx, cy))
+                                .abs_diff(i32::from(prev.get(px as u32, py as u32))),
                         );
                     }
                     if !valid {
@@ -176,7 +175,11 @@ mod tests {
         let mut bm = BlockMatcher::new(FlowParams::default());
         let _ = bm.apply(&r.render(0, &[]));
         let mask = bm.apply(&r.render(0, &[]));
-        assert_eq!(mask.count_set(), 0, "identical frames must report no motion");
+        assert_eq!(
+            mask.count_set(),
+            0,
+            "identical frames must report no motion"
+        );
     }
 
     #[test]

@@ -144,8 +144,7 @@ impl GaussianMixtureModel {
                             let rho = alpha;
                             let d = x - mode.mean;
                             mode.mean += rho * d;
-                            mode.var =
-                                (mode.var + rho * (d * d - mode.var)).max(p.min_variance);
+                            mode.var = (mode.var + rho * (d * d - mode.var)).max(p.min_variance);
                         } else {
                             mode.weight *= 1.0 - alpha;
                         }
@@ -186,8 +185,13 @@ impl GaussianMixtureModel {
             for (i, o) in order.iter_mut().enumerate().take(k) {
                 *o = i;
             }
-            let fitness =
-                |m: &Mode| -> f32 { if m.var > 0.0 { m.weight / m.var.sqrt() } else { 0.0 } };
+            let fitness = |m: &Mode| -> f32 {
+                if m.var > 0.0 {
+                    m.weight / m.var.sqrt()
+                } else {
+                    0.0
+                }
+            };
             order[..k].sort_by(|&a, &b| {
                 fitness(&modes[b])
                     .partial_cmp(&fitness(&modes[a]))

@@ -77,8 +77,7 @@ fn main() {
                 })
                 .collect();
             let mpx = patches.iter().map(|p| p.area() as f64).sum::<f64>() / 1.0e6;
-            let dets =
-                simulator.detect(&presented, mpx, profile.full_frame_ap, bounds, &mut rng);
+            let dets = simulator.detect(&presented, mpx, profile.full_frame_ap, bounds, &mut rng);
             stats[gi].2.push(FrameEval::new(frame.object_rects(), dets));
         }
     }

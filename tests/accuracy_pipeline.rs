@@ -148,10 +148,8 @@ fn stitched_presentation_beats_downsized_presentation() {
     let simulator = DetectionSimulator::new(ResolutionProfile::yolov8x_4k());
     let mut rng = DetRng::new(9).fork("stitch-vs-resize");
     let mut sim = SceneSimulation::new(scene, VideoConfig::default(), 9);
-    let mut extractor = ProxyExtractor::new(
-        DetectorProxy::ssdlite_mobilenet_v2(),
-        rng.fork("edge"),
-    );
+    let mut extractor =
+        ProxyExtractor::new(DetectorProxy::ssdlite_mobilenet_v2(), rng.fork("edge"));
     let mut stitched = Vec::new();
     let mut downsized = Vec::new();
     for frame in sim.frames(40) {

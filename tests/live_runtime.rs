@@ -88,6 +88,9 @@ fn gpu_bound_respected_under_burst() {
     std::thread::sleep(Duration::from_millis(200));
     runtime.shutdown();
     let inputs = dispatches.lock();
-    assert!(inputs.iter().all(|&n| n <= 9), "batch exceeded GPU bound: {inputs:?}");
+    assert!(
+        inputs.iter().all(|&n| n <= 9),
+        "batch exceeded GPU bound: {inputs:?}"
+    );
     assert_eq!(inputs.iter().sum::<usize>(), 15);
 }

@@ -1,11 +1,17 @@
-//! Property-based tests (proptest) of the core invariants.
+//! Randomized property tests of the core invariants.
+//!
+//! Formerly written against `proptest`; now driven by `tangram_sim`'s
+//! seeded [`DetRng`] so every case is deterministic and reproducible —
+//! each property forks a per-case stream from a fixed root seed, and a
+//! failure message names the case index that produced it. Re-running the
+//! suite replays the identical inputs on every platform.
 
-use proptest::prelude::*;
 use tangram_core::scheduler::{SchedulerConfig, TangramScheduler};
 use tangram_infer::ap::{ap50, Detection, FrameEval};
 use tangram_infer::estimator::LatencyEstimator;
 use tangram_infer::latency::InferenceLatencyModel;
 use tangram_partition::algorithm::{partition_detailed, PartitionConfig};
+use tangram_sim::rng::DetRng;
 use tangram_stitch::canvas::PlacedPatch;
 use tangram_stitch::solver::{split_to_fit, PatchStitchingSolver};
 use tangram_types::geometry::{Rect, Size};
@@ -13,9 +19,33 @@ use tangram_types::ids::{CameraId, FrameId, PatchId};
 use tangram_types::patch::PatchInfo;
 use tangram_types::time::{SimDuration, SimTime};
 
-fn arb_rect() -> impl Strategy<Value = Rect> {
-    (0u32..3700, 0u32..2000, 8u32..500, 8u32..600)
-        .prop_map(|(x, y, w, h)| Rect::new(x.min(3839), y.min(2159), w.min(3840 - x.min(3839)).max(1), h.min(2160 - y.min(2159)).max(1)))
+/// Root seed for the whole suite; each property + case forks from it.
+const ROOT_SEED: u64 = 0x7a6e_6772_616d_0001;
+
+/// Number of random cases per property (matches the old proptest config).
+const CASES: u64 = 64;
+
+/// Returns the deterministic stream for one case of one property.
+fn case_rng(property: &str, case: u64) -> DetRng {
+    DetRng::new(ROOT_SEED).fork_indexed(property, case)
+}
+
+/// Draws a rectangle inside a 4K frame, mirroring the old `arb_rect`
+/// strategy: x in [0, 3700), y in [0, 2000), w in [8, 500), h in [8, 600),
+/// clamped to stay within 3840×2160.
+fn arb_rect(rng: &mut DetRng) -> Rect {
+    let x = rng.index(3700) as u32;
+    let y = rng.index(2000) as u32;
+    let w = (8 + rng.index(492)) as u32;
+    let h = (8 + rng.index(592)) as u32;
+    let x = x.min(3839);
+    let y = y.min(2159);
+    Rect::new(x, y, w.min(3840 - x).max(1), h.min(2160 - y).max(1))
+}
+
+fn arb_rect_vec(rng: &mut DetRng, lo: usize, hi: usize) -> Vec<Rect> {
+    let n = lo + rng.index(hi - lo);
+    (0..n).map(|_| arb_rect(rng)).collect()
 }
 
 fn patch_info(i: usize, rect: Rect) -> PatchInfo {
@@ -29,11 +59,11 @@ fn patch_info(i: usize, rect: Rect) -> PatchInfo {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn stitch_places_everything_disjointly(rects in prop::collection::vec(arb_rect(), 1..40)) {
+#[test]
+fn stitch_places_everything_disjointly() {
+    for case in 0..CASES {
+        let mut rng = case_rng("stitch_places_everything_disjointly", case);
+        let rects = arb_rect_vec(&mut rng, 1, 40);
         let solver = PatchStitchingSolver::new(Size::CANVAS_1024);
         let patches: Vec<PatchInfo> = rects
             .iter()
@@ -47,65 +77,86 @@ proptest! {
         let canvases = solver.stitch(&patches).expect("normalised patches fit");
         // Every patch placed exactly once.
         let placed: usize = canvases.iter().map(|c| c.placements.len()).sum();
-        prop_assert_eq!(placed, patches.len());
+        assert_eq!(placed, patches.len(), "case {case}");
         // No overlaps, all in bounds, efficiency ≤ 1.
         for canvas in &canvases {
             let bounds = Rect::from_size(canvas.size);
-            let rects: Vec<Rect> = canvas.placements.iter().map(PlacedPatch::canvas_rect).collect();
+            let rects: Vec<Rect> = canvas
+                .placements
+                .iter()
+                .map(PlacedPatch::canvas_rect)
+                .collect();
             for (i, r) in rects.iter().enumerate() {
-                prop_assert!(bounds.contains_rect(r));
+                assert!(bounds.contains_rect(r), "case {case}: {r:?} out of bounds");
                 for o in &rects[..i] {
-                    prop_assert!(!r.intersects(o));
+                    assert!(!r.intersects(o), "case {case}: {r:?} overlaps {o:?}");
                 }
             }
-            prop_assert!(canvas.efficiency() <= 1.0 + 1e-12);
+            assert!(canvas.efficiency() <= 1.0 + 1e-12, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn partition_covers_every_roi(rects in prop::collection::vec(arb_rect(), 0..60),
-                                  zx in 1u32..8, zy in 1u32..8) {
+#[test]
+fn partition_covers_every_roi() {
+    for case in 0..CASES {
+        let mut rng = case_rng("partition_covers_every_roi", case);
+        let rects = arb_rect_vec(&mut rng, 0, 60);
+        let zx = (1 + rng.index(7)) as u32;
+        let zy = (1 + rng.index(7)) as u32;
         let config = PartitionConfig::new(zx, zy);
         let detailed = partition_detailed(Size::UHD_4K, config, &rects);
         // Patch count bounded by zones; every RoI fully inside its patch.
-        prop_assert!(detailed.len() <= (zx * zy) as usize);
+        assert!(detailed.len() <= (zx * zy) as usize, "case {case}");
         let mut assigned = 0usize;
         for zp in &detailed {
             for &ri in &zp.roi_indices {
-                prop_assert!(zp.rect.contains_rect(&rects[ri]));
+                assert!(
+                    zp.rect.contains_rect(&rects[ri]),
+                    "case {case}: roi {ri} escapes its patch"
+                );
                 assigned += 1;
             }
         }
         let nonempty = rects.iter().filter(|r| !r.is_empty()).count();
-        prop_assert_eq!(assigned, nonempty);
+        assert_eq!(assigned, nonempty, "case {case}");
     }
+}
 
-    #[test]
-    fn split_to_fit_partitions_exactly(rect in arb_rect()) {
+#[test]
+fn split_to_fit_partitions_exactly() {
+    for case in 0..CASES {
+        let mut rng = case_rng("split_to_fit_partitions_exactly", case);
+        let rect = arb_rect(&mut rng);
         let tiles = split_to_fit(rect, Size::CANVAS_1024);
         let total: u64 = tiles.iter().map(Rect::area).sum();
-        prop_assert_eq!(total, rect.area());
+        assert_eq!(total, rect.area(), "case {case}");
         for (i, t) in tiles.iter().enumerate() {
-            prop_assert!(rect.contains_rect(t));
-            prop_assert!(Size::CANVAS_1024.fits(t.size()));
+            assert!(rect.contains_rect(t), "case {case}");
+            assert!(Size::CANVAS_1024.fits(t.size()), "case {case}");
             for o in &tiles[..i] {
-                prop_assert!(!t.intersects(o));
+                assert!(!t.intersects(o), "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn scheduler_batches_respect_gpu_bound(
-        sizes in prop::collection::vec((50u32..1024, 50u32..1024), 1..60),
-        slo_ms in 200u64..5000,
-    ) {
-        let estimator = LatencyEstimator::paper_default(
-            &InferenceLatencyModel::rtx4090_yolov8x(),
-            Size::CANVAS_1024,
-            9,
-        );
+#[test]
+fn scheduler_batches_respect_gpu_bound() {
+    let estimator = LatencyEstimator::paper_default(
+        &InferenceLatencyModel::rtx4090_yolov8x(),
+        Size::CANVAS_1024,
+        9,
+    );
+    for case in 0..CASES {
+        let mut rng = case_rng("scheduler_batches_respect_gpu_bound", case);
+        let n = 1 + rng.index(59);
+        let sizes: Vec<(u32, u32)> = (0..n)
+            .map(|_| ((50 + rng.index(974)) as u32, (50 + rng.index(974)) as u32))
+            .collect();
+        let slo_ms = (200 + rng.index(4800)) as u64;
         let mut scheduler =
-            TangramScheduler::new(SchedulerConfig::paper_default(), estimator);
+            TangramScheduler::new(SchedulerConfig::paper_default(), estimator.clone());
         let mut dispatched = Vec::new();
         for (i, (w, h)) in sizes.iter().enumerate() {
             let info = PatchInfo::new(
@@ -123,15 +174,20 @@ proptest! {
         // Constraint (5): never more canvases than the GPU holds; every
         // patch appears in exactly one batch.
         let total: usize = dispatched.iter().map(|b| b.patches.len()).sum();
-        prop_assert_eq!(total, sizes.len());
+        assert_eq!(total, sizes.len(), "case {case}");
         for b in &dispatched {
-            prop_assert!(b.inputs <= 9, "batch of {} canvases", b.inputs);
-            prop_assert_eq!(b.canvas_efficiencies.len(), b.inputs);
+            assert!(b.inputs <= 9, "case {case}: batch of {} canvases", b.inputs);
+            assert_eq!(b.canvas_efficiencies.len(), b.inputs, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn ap_increases_with_true_positives(n_truth in 1usize..20, hits in 0usize..20) {
+#[test]
+fn ap_increases_with_true_positives() {
+    for case in 0..CASES {
+        let mut rng = case_rng("ap_increases_with_true_positives", case);
+        let n_truth = 1 + rng.index(19);
+        let hits = rng.index(20);
         let truths: Vec<Rect> = (0..n_truth)
             .map(|i| Rect::new(i as u32 * 150, 100, 80, 120))
             .collect();
@@ -139,43 +195,59 @@ proptest! {
             let dets: Vec<Detection> = truths
                 .iter()
                 .take(k)
-                .map(|&rect| Detection { rect, confidence: 0.9 })
+                .map(|&rect| Detection {
+                    rect,
+                    confidence: 0.9,
+                })
                 .collect();
             vec![FrameEval::new(truths.clone(), dets)]
         };
         let fewer = ap50(&make_eval(hits.min(n_truth).saturating_sub(1)));
         let more = ap50(&make_eval(hits.min(n_truth)));
-        prop_assert!(more >= fewer);
+        assert!(more >= fewer, "case {case}: {more} < {fewer}");
     }
+}
 
-    #[test]
-    fn event_queue_pops_sorted(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+#[test]
+fn event_queue_pops_sorted() {
+    for case in 0..CASES {
+        let mut rng = case_rng("event_queue_pops_sorted", case);
+        let n = 1 + rng.index(199);
         let mut q = tangram_sim::event::EventQueue::new();
-        for (i, &t) in times.iter().enumerate() {
-            q.push(SimTime::from_micros(t), i);
+        for i in 0..n {
+            q.push(SimTime::from_micros(rng.index(1_000_000) as u64), i);
         }
         let mut last = SimTime::ZERO;
         while let Some((t, _)) = q.pop() {
-            prop_assert!(t >= last);
+            assert!(t >= last, "case {case}");
             last = t;
         }
     }
+}
 
-    #[test]
-    fn deadlines_never_regress_under_waiting(gen in 0u64..1_000_000, slo in 1u64..5_000_000) {
+#[test]
+fn deadlines_never_regress_under_waiting() {
+    for case in 0..CASES {
+        let mut rng = case_rng("deadlines_never_regress_under_waiting", case);
+        let generated = rng.index(1_000_000) as u64;
+        let slo = (1 + rng.index(4_999_999)) as u64;
         let info = PatchInfo::new(
             PatchId::new(0),
             CameraId::new(0),
             FrameId::new(0),
             Rect::new(0, 0, 10, 10),
-            SimTime::from_micros(gen),
+            SimTime::from_micros(generated),
             SimDuration::from_micros(slo),
         );
         let d = info.deadline();
-        prop_assert_eq!(d.since(SimTime::from_micros(gen)), SimDuration::from_micros(slo));
+        assert_eq!(
+            d.since(SimTime::from_micros(generated)),
+            SimDuration::from_micros(slo),
+            "case {case}"
+        );
         // Budget is monotone non-increasing in time.
-        let b1 = info.remaining_budget(SimTime::from_micros(gen + 1));
-        let b2 = info.remaining_budget(SimTime::from_micros(gen + 2));
-        prop_assert!(b2 <= b1);
+        let b1 = info.remaining_budget(SimTime::from_micros(generated + 1));
+        let b2 = info.remaining_budget(SimTime::from_micros(generated + 2));
+        assert!(b2 <= b1, "case {case}");
     }
 }

@@ -129,10 +129,7 @@ fn interleaved_slos_respect_the_tightest() {
     let _ = s.on_patch(t(0), patch(1, 0, 0, 5000, 300)); // lax
     let _ = s.on_patch(t(1), patch(2, 0, 1, 400, 300)); // tight
     let invoke_by = s.invoke_by().unwrap();
-    assert!(
-        invoke_by < t(401),
-        "tightest deadline governs: {invoke_by}"
-    );
+    assert!(invoke_by < t(401), "tightest deadline governs: {invoke_by}");
     // Firing the timer dispatches BOTH patches together.
     let out = s.on_timer(invoke_by);
     assert_eq!(out.dispatches[0].patch_count(), 2);

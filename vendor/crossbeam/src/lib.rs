@@ -1,0 +1,38 @@
+//! Offline stand-in for the subset of `crossbeam` this workspace uses.
+//!
+//! Only `channel::{unbounded, Sender, Receiver, RecvTimeoutError}` is
+//! needed (single-producer hand-off into the live runtime's worker
+//! thread), and `std::sync::mpsc` provides an API-compatible
+//! implementation of exactly that subset. MPMC features of the real
+//! crossbeam (cloneable receivers, `select!`) are not provided.
+
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvTimeoutError, SendError, Sender};
+
+    /// Creates an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvTimeoutError};
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_and_timeout() {
+        let (tx, rx) = unbounded();
+        tx.send(7u32).unwrap();
+        assert_eq!(rx.recv().unwrap(), 7);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its wire-facing
+//! types but never actually serialises anything (there is no `serde_json`
+//! or similar in the tree). This stub keeps those derives compiling
+//! without network access to crates.io: the traits are empty markers with
+//! blanket impls, and the re-exported derive macros expand to nothing.
+//!
+//! If a future change needs real serialisation, replace this vendored
+//! stub with the genuine crate and delete `vendor/serde*`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`. Blanket-implemented for
+/// every type so `T: Serialize` bounds always hold.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize<'de>`. Blanket-implemented
+/// for every sized type so `T: Deserialize<'de>` bounds always hold.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}

@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, and nothing in this
+//! workspace performs runtime (de)serialisation — `#[derive(Serialize,
+//! Deserialize)]` only marks types as wire-representable. The companion
+//! `serde` stub blanket-implements both traits, so these derives simply
+//! accept the input and expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing; the `serde`
+/// stub's blanket impl already covers every type.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing; the `serde`
+/// stub's blanket impl already covers every type.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
