@@ -3,10 +3,13 @@
 //! Packs the same patch workloads with the paper's guillotine
 //! (best-short-side-fit, shorter-axis split), a first-fit shelf packer,
 //! and a bottom-left skyline packer; reports canvases needed and mean
-//! efficiency. Fewer canvases = fewer GPU-seconds per batch.
+//! efficiency. Fewer canvases = fewer GPU-seconds per batch. Scenes fan
+//! out over the harness pool.
 
 use tangram_bench::{ExpOpts, TextTable};
-use tangram_core::workload::TraceConfig;
+use tangram_harness::parallel_map;
+use tangram_harness::presets::build_trace;
+use tangram_harness::TraceKind;
 use tangram_stitch::packer::{GuillotinePacker, Packer, ShelfPacker, SkylinePacker};
 use tangram_stitch::solver::split_to_fit;
 use tangram_types::geometry::Size;
@@ -39,32 +42,39 @@ fn main() {
         "shelf canvases (eff)",
         "skyline canvases (eff)",
     ]);
+    let per_scene = parallel_map(
+        SceneId::all().collect::<Vec<_>>(),
+        opts.workers(),
+        |_, scene| {
+            let trace = build_trace(scene, frames, opts.seed, TraceKind::Proxy);
+            let mut per_packer = [(0usize, 0.0f64, 0usize); 3];
+            for f in &trace.frames {
+                let sizes: Vec<Size> = f
+                    .patches
+                    .iter()
+                    .flat_map(|p| split_to_fit(p.info.rect, Size::CANVAS_1024))
+                    .map(|r| r.size())
+                    .collect();
+                if sizes.is_empty() {
+                    continue;
+                }
+                let strategies: [&dyn Fn() -> Box<dyn Packer>; 3] = [
+                    &|| Box::new(GuillotinePacker::new(Size::CANVAS_1024)),
+                    &|| Box::new(ShelfPacker::new(Size::CANVAS_1024)),
+                    &|| Box::new(SkylinePacker::new(Size::CANVAS_1024)),
+                ];
+                for (i, make) in strategies.iter().enumerate() {
+                    let (canvases, eff) = pack_all(make, &sizes);
+                    per_packer[i].0 += canvases;
+                    per_packer[i].1 += eff;
+                    per_packer[i].2 += 1;
+                }
+            }
+            (scene, per_packer)
+        },
+    );
     let mut totals = [0usize; 3];
-    for scene in SceneId::all() {
-        let trace = TraceConfig::proxy_extractor(scene, frames, opts.seed).build();
-        let mut per_packer = [(0usize, 0.0f64, 0usize); 3];
-        for f in &trace.frames {
-            let sizes: Vec<Size> = f
-                .patches
-                .iter()
-                .flat_map(|p| split_to_fit(p.info.rect, Size::CANVAS_1024))
-                .map(|r| r.size())
-                .collect();
-            if sizes.is_empty() {
-                continue;
-            }
-            let strategies: [&dyn Fn() -> Box<dyn Packer>; 3] = [
-                &|| Box::new(GuillotinePacker::new(Size::CANVAS_1024)),
-                &|| Box::new(ShelfPacker::new(Size::CANVAS_1024)),
-                &|| Box::new(SkylinePacker::new(Size::CANVAS_1024)),
-            ];
-            for (i, make) in strategies.iter().enumerate() {
-                let (canvases, eff) = pack_all(make, &sizes);
-                per_packer[i].0 += canvases;
-                per_packer[i].1 += eff;
-                per_packer[i].2 += 1;
-            }
-        }
+    for (scene, per_packer) in per_scene {
         let mut cells = vec![scene.to_string()];
         for (i, (canvases, eff_sum, n)) in per_packer.iter().enumerate() {
             totals[i] += canvases;

@@ -4,10 +4,13 @@
 //! every arrival (O(n) packer inserts per arrival). An incremental
 //! variant keeps the packers open and inserts each patch once. This
 //! ablation measures the packing-quality gap — how many extra canvases
-//! the cheap variant pays on identical arrival sequences.
+//! the cheap variant pays on identical arrival sequences. Scenes fan out
+//! over the harness pool.
 
 use tangram_bench::{ExpOpts, TextTable};
-use tangram_core::workload::TraceConfig;
+use tangram_harness::parallel_map;
+use tangram_harness::presets::build_trace;
+use tangram_harness::TraceKind;
 use tangram_stitch::packer::{GuillotinePacker, Packer};
 use tangram_stitch::solver::{split_to_fit, PatchStitchingSolver};
 use tangram_types::geometry::Size;
@@ -17,7 +20,6 @@ use tangram_types::patch::PatchInfo;
 fn main() {
     let opts = ExpOpts::from_args();
     let frames = opts.frame_budget(20, 80);
-    let solver = PatchStitchingSolver::new(Size::CANVAS_1024);
     println!("== Ablation: full re-stitch (paper) vs incremental insertion ==\n");
     println!("Queues of ~3 frames' patches, stitched both ways:\n");
     let mut table = TextTable::new([
@@ -27,43 +29,51 @@ fn main() {
         "incremental canvases",
         "extra %",
     ]);
-    let mut grand = (0usize, 0usize);
-    for scene in SceneId::all() {
-        let trace = TraceConfig::proxy_extractor(scene, frames, opts.seed).build();
-        let mut restitch_total = 0usize;
-        let mut incremental_total = 0usize;
-        let mut queues = 0usize;
-        for window in trace.frames.chunks(3) {
-            let infos: Vec<PatchInfo> = window
-                .iter()
-                .flat_map(|f| f.patches.iter())
-                .flat_map(|p| {
-                    split_to_fit(p.info.rect, Size::CANVAS_1024)
-                        .into_iter()
-                        .map(move |rect| PatchInfo { rect, ..p.info })
-                })
-                .collect();
-            if infos.is_empty() {
-                continue;
-            }
-            queues += 1;
-            // Full re-stitch of the final queue (what Algorithm 2 ends
-            // up dispatching).
-            restitch_total += solver.stitch(&infos).expect("tiles fit").len();
-            // Incremental: insert in arrival order, never repack.
-            let mut packers: Vec<GuillotinePacker> = Vec::new();
-            'patch: for info in &infos {
-                for p in &mut packers {
-                    if p.insert(info.rect.size()).is_some() {
-                        continue 'patch;
-                    }
+    let per_scene = parallel_map(
+        SceneId::all().collect::<Vec<_>>(),
+        opts.workers(),
+        |_, scene| {
+            let solver = PatchStitchingSolver::new(Size::CANVAS_1024);
+            let trace = build_trace(scene, frames, opts.seed, TraceKind::Proxy);
+            let mut restitch_total = 0usize;
+            let mut incremental_total = 0usize;
+            let mut queues = 0usize;
+            for window in trace.frames.chunks(3) {
+                let infos: Vec<PatchInfo> = window
+                    .iter()
+                    .flat_map(|f| f.patches.iter())
+                    .flat_map(|p| {
+                        split_to_fit(p.info.rect, Size::CANVAS_1024)
+                            .into_iter()
+                            .map(move |rect| PatchInfo { rect, ..p.info })
+                    })
+                    .collect();
+                if infos.is_empty() {
+                    continue;
                 }
-                let mut p = GuillotinePacker::new(Size::CANVAS_1024);
-                assert!(p.insert(info.rect.size()).is_some());
-                packers.push(p);
+                queues += 1;
+                // Full re-stitch of the final queue (what Algorithm 2 ends
+                // up dispatching).
+                restitch_total += solver.stitch(&infos).expect("tiles fit").len();
+                // Incremental: insert in arrival order, never repack.
+                let mut packers: Vec<GuillotinePacker> = Vec::new();
+                'patch: for info in &infos {
+                    for p in &mut packers {
+                        if p.insert(info.rect.size()).is_some() {
+                            continue 'patch;
+                        }
+                    }
+                    let mut p = GuillotinePacker::new(Size::CANVAS_1024);
+                    assert!(p.insert(info.rect.size()).is_some());
+                    packers.push(p);
+                }
+                incremental_total += packers.len();
             }
-            incremental_total += packers.len();
-        }
+            (scene, queues, restitch_total, incremental_total)
+        },
+    );
+    let mut grand = (0usize, 0usize);
+    for (scene, queues, restitch_total, incremental_total) in per_scene {
         grand.0 += restitch_total;
         grand.1 += incremental_total;
         let extra = (incremental_total as f64 / restitch_total.max(1) as f64 - 1.0) * 100.0;

@@ -3,24 +3,30 @@
 //! Sweeps k ∈ {0, 1, 2, 3, 4}: smaller k waits longer (cheaper, riskier);
 //! larger k invokes earlier (safer, costlier). The paper notes
 //! SLO-critical applications can "manually adjust the slack time to a
-//! more conservative estimation" — this quantifies that dial.
+//! more conservative estimation" — this quantifies that dial. The sweep
+//! is a one-axis `SweepGrid` over `sigma_multipliers`; `--out DIR`
+//! writes `BENCH_ablation_slack.json`.
 
 use tangram_bench::{ExpOpts, TextTable};
-use tangram_core::engine::{EngineConfig, PolicyKind};
-use tangram_core::workload::{CameraTrace, TraceConfig};
-use tangram_types::ids::SceneId;
-use tangram_types::time::SimDuration;
+use tangram_core::engine::PolicyKind;
+use tangram_harness::presets::motivation_scenes;
+use tangram_harness::{run_grid, SweepGrid, TraceKind, WorkloadSpec};
 
 fn main() {
     let opts = ExpOpts::from_args();
     let frames = opts.frame_budget(40, 134);
-    let scenes: Vec<SceneId> = SceneId::all()
-        .take(if opts.quick { 2 } else { 5 })
-        .collect();
-    let traces: Vec<CameraTrace> = scenes
-        .iter()
-        .map(|&scene| TraceConfig::proxy_extractor(scene, frames, opts.seed).build())
-        .collect();
+    let scenes = motivation_scenes(opts.quick);
+
+    let mut grid = SweepGrid::named("ablation_slack");
+    grid.policies = vec![PolicyKind::Tangram];
+    grid.seeds = vec![opts.seed];
+    grid.slos_s = vec![1.0];
+    grid.bandwidths_mbps = vec![40.0];
+    grid.sigma_multipliers = vec![0.0, 1.0, 2.0, 3.0, 4.0];
+    grid.workloads = WorkloadSpec::per_scene(&scenes, frames, TraceKind::Proxy);
+
+    let report = run_grid(&grid, opts.workers());
+    opts.maybe_write(&report);
 
     println!("== Ablation: slack multiplier k (T_slack = µ + k·σ), SLO = 1 s, 40 Mbps ==\n");
     let mut table = TextTable::new([
@@ -30,29 +36,18 @@ fn main() {
         "mean patches/batch",
         "mean latency (s)",
     ]);
-    for k in [0.0, 1.0, 2.0, 3.0, 4.0] {
-        let mut violations = 0usize;
-        let mut patches = 0usize;
-        let mut cost = 0.0;
-        let mut ppb = 0.0;
-        let mut lat = 0.0;
-        for trace in &traces {
-            let config = EngineConfig {
-                policy: PolicyKind::Tangram,
-                slo: SimDuration::from_secs(1),
-                bandwidth_mbps: 40.0,
-                sigma_multiplier: k,
-                seed: opts.seed,
-                ..EngineConfig::default()
-            };
-            let report = config.run(std::slice::from_ref(trace));
-            violations += report.patches.iter().filter(|p| p.violated()).count();
-            patches += report.patches_completed();
-            cost += report.total_cost().get();
-            ppb += report.mean_patches_per_batch();
-            lat += report.mean_latency().as_secs_f64();
-        }
-        let n = traces.len() as f64;
+    for &k in &grid.sigma_multipliers {
+        let cells: Vec<_> = report
+            .cells
+            .iter()
+            .filter(|c| (c.sigma_multiplier - k).abs() < 1e-9)
+            .collect();
+        let n = cells.len().max(1) as f64;
+        let violations: u64 = cells.iter().map(|c| c.metrics.violations).sum();
+        let patches: u64 = cells.iter().map(|c| c.metrics.patches).sum();
+        let cost: f64 = cells.iter().map(|c| c.metrics.cost_usd).sum();
+        let ppb: f64 = cells.iter().map(|c| c.metrics.mean_patches_per_batch).sum();
+        let lat: f64 = cells.iter().map(|c| c.metrics.mean_latency_s).sum();
         table.row([
             format!("{k:.0}"),
             format!("{:.2}", violations as f64 / patches.max(1) as f64 * 100.0),

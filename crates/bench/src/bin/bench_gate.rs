@@ -1,0 +1,79 @@
+//! The CI perf gate: compares a candidate `BENCH_*.json` against a
+//! checked-in baseline.
+//!
+//! ```text
+//! bench_gate <baseline.json> <candidate.json> [--max-regression PCT]
+//! ```
+//!
+//! Exit status 0 when the candidate is acceptable, 1 with one line per
+//! violation otherwise (2 on usage/IO errors). Correctness metrics
+//! (patches, batches, violations, SLO attainment, cost, bytes) must
+//! match the baseline exactly — the simulator is deterministic, so any
+//! drift is a real behavioural change: refresh the baseline deliberately
+//! if it is intended. Throughput may drop (and p99 rise) by at most
+//! `--max-regression` percent, default 20.
+
+use tangram_harness::{gate, BenchReport, GateConfig};
+
+fn load(path: &str) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    BenchReport::from_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = GateConfig::default();
+    let mut positional: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--max-regression" {
+            match args.get(i + 1).and_then(|v| v.parse::<f64>().ok()) {
+                Some(pct) if pct >= 0.0 => config.max_perf_regression = pct / 100.0,
+                _ => {
+                    eprintln!("--max-regression needs a non-negative percentage");
+                    std::process::exit(2);
+                }
+            }
+            i += 2;
+        } else {
+            positional.push(&args[i]);
+            i += 1;
+        }
+    }
+    let [baseline_path, candidate_path] = positional[..] else {
+        eprintln!("usage: bench_gate <baseline.json> <candidate.json> [--max-regression PCT]");
+        std::process::exit(2);
+    };
+
+    let (baseline, candidate) = match (load(baseline_path), load(candidate_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for err in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("bench_gate: {err}");
+            }
+            std::process::exit(2);
+        }
+    };
+
+    let violations = gate(&baseline, &candidate, &config);
+    if violations.is_empty() {
+        println!(
+            "bench_gate: OK — {} cells match '{}' (correctness exact, perf within {:.0}%)",
+            candidate.cells.len(),
+            baseline_path,
+            config.max_perf_regression * 100.0
+        );
+    } else {
+        eprintln!(
+            "bench_gate: {} violation(s) against '{baseline_path}':",
+            violations.len()
+        );
+        for v in &violations {
+            eprintln!("  - {v}");
+        }
+        eprintln!(
+            "\nIf this change is intended, refresh the baseline:\n  cargo run --release --bin bench_all -- --smoke --out baselines"
+        );
+        std::process::exit(1);
+    }
+}

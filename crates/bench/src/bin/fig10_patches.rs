@@ -3,11 +3,16 @@
 //! (a) patches per frame for each scene under 4×4 partitioning;
 //! (b) the CDF of canvas efficiency when each frame's patches are
 //! stitched onto 1024×1024 canvases as one request.
+//!
+//! Scenes fan out over the harness pool; per-scene efficiency samples
+//! are pooled in scene order afterwards, so the output is independent of
+//! the worker count.
 
 use tangram_bench::{ExpOpts, TextTable};
-use tangram_core::workload::TraceConfig;
+use tangram_harness::parallel_map;
+use tangram_harness::presets::build_trace;
+use tangram_harness::TraceKind;
 use tangram_sim::stats::EmpiricalCdf;
-use tangram_stitch::canvas::Canvas;
 use tangram_stitch::solver::{split_to_fit, PatchStitchingSolver};
 use tangram_types::geometry::Size;
 use tangram_types::ids::SceneId;
@@ -16,42 +21,58 @@ use tangram_types::patch::PatchInfo;
 fn main() {
     let opts = ExpOpts::from_args();
     let frames = opts.frame_budget(30, 120);
-    let solver = PatchStitchingSolver::new(Size::CANVAS_1024);
+
+    struct SceneOut {
+        scene: SceneId,
+        counts: Vec<usize>,
+        efficiencies: Vec<f64>,
+    }
+
+    let per_scene = parallel_map(
+        SceneId::all().collect::<Vec<_>>(),
+        opts.workers(),
+        |_, scene| {
+            let solver = PatchStitchingSolver::new(Size::CANVAS_1024);
+            let trace = build_trace(scene, frames, opts.seed, TraceKind::Proxy);
+            let counts: Vec<usize> = trace.frames.iter().map(|f| f.patches.len()).collect();
+            let mut efficiencies = Vec::new();
+            for f in &trace.frames {
+                let mut infos: Vec<PatchInfo> = Vec::new();
+                for p in &f.patches {
+                    for rect in split_to_fit(p.info.rect, Size::CANVAS_1024) {
+                        infos.push(PatchInfo { rect, ..p.info });
+                    }
+                }
+                if infos.is_empty() {
+                    continue;
+                }
+                let canvases = solver.stitch(&infos).expect("tiles fit");
+                efficiencies.extend(canvases.iter().map(|c| c.efficiency()));
+            }
+            SceneOut {
+                scene,
+                counts,
+                efficiencies,
+            }
+        },
+    );
 
     println!("== Fig. 10(a): patches per frame (4x4 partitioning) ==\n");
     let mut per_frame = TextTable::new(["scene", "mean", "min", "max"]);
     let mut cdf = EmpiricalCdf::new();
     let mut per_scene_eff: Vec<(SceneId, f64)> = Vec::new();
-    for scene in SceneId::all() {
-        let trace = TraceConfig::proxy_extractor(scene, frames, opts.seed).build();
-        let counts: Vec<usize> = trace.frames.iter().map(|f| f.patches.len()).collect();
-        let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+    for out in &per_scene {
+        let mean = out.counts.iter().sum::<usize>() as f64 / out.counts.len() as f64;
         per_frame.row([
-            scene.to_string(),
+            out.scene.to_string(),
             format!("{mean:.1}"),
-            format!("{}", counts.iter().min().unwrap()),
-            format!("{}", counts.iter().max().unwrap()),
+            format!("{}", out.counts.iter().min().unwrap()),
+            format!("{}", out.counts.iter().max().unwrap()),
         ]);
-
-        // Fig. 10(b): stitch each frame's patches as one request.
+        cdf.extend(out.efficiencies.iter().copied());
         let mut scene_eff = EmpiricalCdf::new();
-        for f in &trace.frames {
-            let mut infos: Vec<PatchInfo> = Vec::new();
-            for p in &f.patches {
-                for rect in split_to_fit(p.info.rect, Size::CANVAS_1024) {
-                    infos.push(PatchInfo { rect, ..p.info });
-                }
-            }
-            if infos.is_empty() {
-                continue;
-            }
-            let canvases = solver.stitch(&infos).expect("tiles fit");
-            for c in &canvases {
-                cdf.push(c.efficiency());
-                scene_eff.push(c.efficiency());
-            }
-        }
-        per_scene_eff.push((scene, scene_eff.mean()));
+        scene_eff.extend(out.efficiencies.iter().copied());
+        per_scene_eff.push((out.scene, scene_eff.mean()));
     }
     per_frame.print();
     println!(
@@ -71,5 +92,4 @@ fn main() {
         eff_table.row([scene.to_string(), format!("{eff:.3}")]);
     }
     eff_table.print();
-    let _ = Canvas::new(tangram_types::ids::CanvasId::new(0), Size::CANVAS_1024);
 }

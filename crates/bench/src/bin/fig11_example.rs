@@ -4,47 +4,52 @@
 //! busy scene_08 frame) showing ground-truth objects (`o`), extractor
 //! RoIs (`+`) and the patch rectangles Algorithm 1 cuts (`#` borders),
 //! plus a PPM image written next to the binary output for close viewing.
+//! The two scenes render on the harness pool via the shared scene rig.
 
 use std::io::Write;
 use tangram_bench::ExpOpts;
+use tangram_harness::parallel_map;
+use tangram_harness::presets::{EdgeExtractor, SceneRig};
 use tangram_partition::algorithm::{partition, PartitionConfig};
-use tangram_sim::rng::DetRng;
 use tangram_types::geometry::Rect;
 use tangram_types::ids::SceneId;
-use tangram_video::generator::{FrameTruth, SceneSimulation, VideoConfig};
-use tangram_vision::detector::DetectorProxy;
-use tangram_vision::extractor::{ProxyExtractor, RoiExtractor};
+use tangram_video::generator::FrameTruth;
 
 const COLS: u32 = 96;
 const ROWS: u32 = 27;
 
 fn main() {
     let opts = ExpOpts::from_args();
-    for (scene_idx, frame_skip) in [(1u8, 10usize), (8, 29)] {
-        let scene = SceneId::new(scene_idx);
-        let mut sim = SceneSimulation::new(scene, VideoConfig::default(), opts.seed);
-        let mut extractor = ProxyExtractor::new(
-            DetectorProxy::ssdlite_mobilenet_v2(),
-            DetRng::new(opts.seed).fork_indexed("fig11", u64::from(scene_idx)),
-        );
-        let mut frame = sim.next_frame();
-        for _ in 0..frame_skip {
-            frame = sim.next_frame();
-        }
-        let rois = extractor.extract(&frame);
-        let patches = partition(frame.frame_size, PartitionConfig::default(), &rois);
-        println!(
-            "== Fig. 11: {scene} frame#{} — {} objects, {} RoIs, {} patches (4x4) ==\n",
-            frame.frame.raw(),
-            frame.objects.len(),
-            rois.len(),
-            patches.len()
-        );
-        println!("{}", ascii_view(&frame, &rois, &patches));
-        let path = format!("target/fig11_{scene}.ppm");
-        if write_ppm(&path, &frame, &rois, &patches).is_ok() {
-            println!("(wrote {path})\n");
-        }
+    let sections = parallel_map(
+        vec![(1u8, 10usize), (8, 29)],
+        opts.workers(),
+        |_, (scene_idx, frame_skip)| {
+            let scene = SceneId::new(scene_idx);
+            let mut rig = SceneRig::new(scene, EdgeExtractor::SsdProxy, opts.seed, "fig11");
+            let mut frame = rig.sim.next_frame();
+            for _ in 0..frame_skip {
+                frame = rig.sim.next_frame();
+            }
+            let rois = rig.extractor.extract(&frame);
+            let patches = partition(frame.frame_size, PartitionConfig::default(), &rois);
+            let mut out = format!(
+                "== Fig. 11: {scene} frame#{} — {} objects, {} RoIs, {} patches (4x4) ==\n\n",
+                frame.frame.raw(),
+                frame.objects.len(),
+                rois.len(),
+                patches.len()
+            );
+            out.push_str(&ascii_view(&frame, &rois, &patches));
+            out.push('\n');
+            let path = format!("target/fig11_{scene}.ppm");
+            if write_ppm(&path, &frame, &rois, &patches).is_ok() {
+                out.push_str(&format!("(wrote {path})\n"));
+            }
+            out
+        },
+    );
+    for section in sections {
+        println!("{section}");
     }
     println!(
         "Legend: 'o' ground-truth object, '+' extractor RoI area, '#' patch border.\nSparse frames need few patches; busy frames with spread objects cut more —\nthe adaptive behaviour of Fig. 10(a)."

@@ -1,77 +1,49 @@
 //! Fig. 12 — end-to-end cost and SLO violation.
 //!
 //! Bandwidth ∈ {20, 40, 80} Mbps × five SLOs × four systems (Tangram,
-//! Clipper, ELF, MArk). Each cell runs the full engine over the five
-//! motivation scenes and reports the average per-scene cost and the
-//! pooled SLO violation rate.
+//! Clipper, ELF, MArk), expressed as one `SweepGrid` per bandwidth and
+//! fanned out over the harness worker pool. Each cell runs the full
+//! engine over one motivation scene; the tables report the average
+//! per-scene cost and the pooled SLO violation rate. `--out DIR` writes
+//! one `BENCH_fig12_e2e_bw<N>.json` per grid.
 
 use tangram_bench::{ExpOpts, TextTable};
-use tangram_core::engine::{EngineConfig, PolicyKind};
-use tangram_core::workload::{CameraTrace, TraceConfig};
-use tangram_types::ids::SceneId;
-use tangram_types::time::SimDuration;
+use tangram_harness::presets::{
+    e2e_grid, motivation_scenes, trace_kind, E2E_POLICIES, PAPER_BANDWIDTHS_MBPS,
+};
+use tangram_harness::{run_grid, BenchReport};
 
 fn main() {
     let opts = ExpOpts::from_args();
     let frames = opts.frame_budget(40, 134);
-    let scenes: Vec<SceneId> = SceneId::all()
-        .take(if opts.quick { 2 } else { 5 })
-        .collect();
-    let policies = [
-        PolicyKind::Tangram,
-        PolicyKind::Clipper,
-        PolicyKind::Elf,
-        PolicyKind::Mark,
-    ];
-    // MArk gets "an appropriate timeout for each bandwidth setting"
-    // (§V-A) — fixed per bandwidth, unaware of the actual SLO, which is
-    // exactly the knob-tuning burden Tangram removes.
-    let sweeps: [(f64, [f64; 5], f64); 3] = [
-        (20.0, [1.0, 1.1, 1.2, 1.3, 1.4], 0.55),
-        (40.0, [0.8, 0.9, 1.0, 1.1, 1.2], 0.45),
-        (80.0, [0.6, 0.7, 0.8, 0.9, 1.0], 0.35),
-    ];
+    let scenes = motivation_scenes(opts.quick);
+    let kind = trace_kind(opts.quick);
 
-    // Traces are shared across every policy and SLO. The full run uses the
-    // GMM pipeline (the paper's prototype); quick mode falls back to the
-    // proxy extractor.
-    let traces: Vec<CameraTrace> = scenes
-        .iter()
-        .map(|&scene| {
-            if opts.quick {
-                TraceConfig::proxy_extractor(scene, frames, opts.seed).build()
-            } else {
-                TraceConfig::gmm_extractor(scene, frames, opts.seed).build()
-            }
-        })
-        .collect();
+    for bw in PAPER_BANDWIDTHS_MBPS {
+        let grid = e2e_grid(
+            &format!("fig12_e2e_bw{bw:.0}"),
+            bw,
+            &scenes,
+            frames,
+            kind,
+            opts.seed,
+        );
+        let report = run_grid(&grid, opts.workers());
+        opts.maybe_write(&report);
 
-    for (bw, slos, mark_timeout) in sweeps {
         println!("== Fig. 12 @ {bw:.0} Mbps: average cost ($/scene) and SLO violation (%) ==\n");
-        let mut cost_table = TextTable::new(["SLO (s)", "Tangram", "Clipper", "ELF", "MArk"]);
-        let mut viol_table = cost_table_clone_headers();
-        for slo in slos {
+        let mut cost_table = policy_table();
+        let mut viol_table = policy_table();
+        for &slo in &grid.slos_s {
             let mut cost_row = vec![format!("{slo:.1}")];
             let mut viol_row = vec![format!("{slo:.1}")];
-            for policy in policies {
-                let mut total_cost = 0.0;
-                let mut violations = 0usize;
-                let mut patches = 0usize;
-                for trace in &traces {
-                    let config = EngineConfig {
-                        policy,
-                        slo: SimDuration::from_secs_f64(slo),
-                        bandwidth_mbps: bw,
-                        mark_timeout: Some(SimDuration::from_secs_f64(mark_timeout)),
-                        seed: opts.seed,
-                        ..EngineConfig::default()
-                    };
-                    let report = config.run(std::slice::from_ref(trace));
-                    total_cost += report.total_cost().get();
-                    violations += report.patches.iter().filter(|p| p.violated()).count();
-                    patches += report.patches_completed();
-                }
-                cost_row.push(format!("{:.4}", total_cost / traces.len() as f64));
+            for policy in E2E_POLICIES {
+                let cells = cells_at(&report, slo, policy.name());
+                let scenes = cells.len().max(1) as f64;
+                let total_cost: f64 = cells.iter().map(|c| c.metrics.cost_usd).sum();
+                let violations: u64 = cells.iter().map(|c| c.metrics.violations).sum();
+                let patches: u64 = cells.iter().map(|c| c.metrics.patches).sum();
+                cost_row.push(format!("{:.4}", total_cost / scenes));
                 viol_row.push(format!(
                     "{:.1}",
                     violations as f64 / patches.max(1) as f64 * 100.0
@@ -91,6 +63,18 @@ fn main() {
     );
 }
 
-fn cost_table_clone_headers() -> TextTable {
+fn policy_table() -> TextTable {
     TextTable::new(["SLO (s)", "Tangram", "Clipper", "ELF", "MArk"])
+}
+
+fn cells_at<'a>(
+    report: &'a BenchReport,
+    slo_s: f64,
+    policy: &str,
+) -> Vec<&'a tangram_harness::CellReport> {
+    report
+        .cells
+        .iter()
+        .filter(|c| (c.slo_s - slo_s).abs() < 1e-9 && c.metrics.policy == policy)
+        .collect()
 }

@@ -1,60 +1,56 @@
 //! Fig. 13 — canvas efficiency vs bandwidth and SLO.
 //!
-//! (a)–(c): the canvas-efficiency CDF of Tangram's batches for each SLO at
-//! 20/40/80 Mbps; (d): the three bandwidths compared at SLO = 1 s.
-//! Looser SLOs and faster links both raise efficiency — more patches are
-//! available before the invoke-by deadline.
+//! (a)–(c): the canvas-efficiency CDF of Tangram's batches for each SLO
+//! at 20/40/80 Mbps; (d): the three bandwidths compared at SLO = 1 s.
+//! One `SweepGrid` per bandwidth (Tangram only, the paper's SLO axis for
+//! that link — SLO = 1 s appears in each, which is what 13(d) reads
+//! across bandwidths), fanned out over the harness pool; the CDFs come
+//! from the full per-batch records, the scalar digests go to
+//! `BENCH_fig13_canvas_efficiency_bw<N>.json` with `--out DIR`.
 
 use tangram_bench::{ExpOpts, TextTable};
-use tangram_core::engine::{EngineConfig, PolicyKind};
-use tangram_core::workload::{CameraTrace, TraceConfig};
+use tangram_core::engine::PolicyKind;
+use tangram_harness::presets::{motivation_scenes, paper_slos_s, trace_kind};
+use tangram_harness::{bench_report, run_grid_full, CellOutcome, SweepGrid, WorkloadSpec};
 use tangram_sim::stats::EmpiricalCdf;
-use tangram_types::ids::SceneId;
-use tangram_types::time::SimDuration;
-
-fn efficiency_cdf(traces: &[CameraTrace], bw: f64, slo: f64, seed: u64) -> EmpiricalCdf {
-    let mut cdf = EmpiricalCdf::new();
-    for trace in traces {
-        let config = EngineConfig {
-            policy: PolicyKind::Tangram,
-            slo: SimDuration::from_secs_f64(slo),
-            bandwidth_mbps: bw,
-            seed,
-            ..EngineConfig::default()
-        };
-        let report = config.run(std::slice::from_ref(trace));
-        cdf.extend(report.canvas_efficiencies());
-    }
-    cdf
-}
 
 fn main() {
     let opts = ExpOpts::from_args();
     let frames = opts.frame_budget(40, 134);
-    let scenes: Vec<SceneId> = SceneId::all()
-        .take(if opts.quick { 2 } else { 5 })
-        .collect();
-    let traces: Vec<CameraTrace> = scenes
-        .iter()
-        .map(|&scene| {
-            if opts.quick {
-                TraceConfig::proxy_extractor(scene, frames, opts.seed).build()
-            } else {
-                TraceConfig::gmm_extractor(scene, frames, opts.seed).build()
-            }
-        })
-        .collect();
+    let scenes = motivation_scenes(opts.quick);
+    let kind = trace_kind(opts.quick);
 
-    let sweeps: [(f64, [f64; 5]); 3] = [
-        (20.0, [1.0, 1.1, 1.2, 1.3, 1.4]),
-        (40.0, [0.8, 0.9, 1.0, 1.1, 1.2]),
-        (80.0, [0.6, 0.7, 0.8, 0.9, 1.0]),
-    ];
-    for (bw, slos) in sweeps {
+    let mut outcomes: Vec<CellOutcome> = Vec::new();
+    for bw in [20.0, 40.0, 80.0] {
+        let mut grid = SweepGrid::named(&format!("fig13_canvas_efficiency_bw{bw:.0}"));
+        grid.policies = vec![PolicyKind::Tangram];
+        grid.seeds = vec![opts.seed];
+        grid.slos_s = paper_slos_s(bw).to_vec();
+        grid.bandwidths_mbps = vec![bw];
+        grid.workloads = WorkloadSpec::per_scene(&scenes, frames, kind);
+
+        let grid_outcomes = run_grid_full(&grid, opts.workers());
+        opts.maybe_write(&bench_report(&grid, &grid_outcomes));
+        outcomes.extend(grid_outcomes);
+    }
+
+    let efficiency_cdf = |bw: f64, slo: f64| -> EmpiricalCdf {
+        let mut cdf = EmpiricalCdf::new();
+        for outcome in outcomes
+            .iter()
+            .filter(|o| (o.cell.bandwidth_mbps - bw).abs() < 1e-9)
+            .filter(|o| (o.cell.slo_s - slo).abs() < 1e-9)
+        {
+            cdf.extend(outcome.report.canvas_efficiencies());
+        }
+        cdf
+    };
+
+    for bw in [20.0, 40.0, 80.0] {
         println!("== Fig. 13 @ {bw:.0} Mbps: canvas efficiency by SLO ==\n");
         let mut table = TextTable::new(["SLO (s)", "mean", "p25", "median", "p75", "frac > 0.6"]);
-        for slo in slos {
-            let mut cdf = efficiency_cdf(&traces, bw, slo, opts.seed);
+        for slo in paper_slos_s(bw) {
+            let mut cdf = efficiency_cdf(bw, slo);
             if cdf.is_empty() {
                 continue;
             }
@@ -76,7 +72,7 @@ fn main() {
     let mut table = TextTable::new(["bandwidth", "mean eff", "frac > 0.6 (paper)"]);
     let paper_frac = [0.50, 0.80, 0.86];
     for (i, bw) in [20.0, 40.0, 80.0].into_iter().enumerate() {
-        let mut cdf = efficiency_cdf(&traces, bw, 1.0, opts.seed);
+        let mut cdf = efficiency_cdf(bw, 1.0);
         let above = 1.0 - cdf.fraction_at_or_below(0.6);
         table.row([
             format!("{bw:.0}Mbps"),

@@ -5,31 +5,31 @@
 //! breakdown (total transmission vs total execution); (d) the joint
 //! distribution of patches vs canvases per batch; plus the amortised
 //! per-patch latency the paper derives (0.0252 / 0.0223 / 0.0213 s).
+//! One Tangram-only `SweepGrid` over the bandwidth axis, run on the
+//! harness pool; `--out DIR` writes `BENCH_fig14_insight.json`.
 
 use tangram_bench::{ExpOpts, TextTable};
-use tangram_core::engine::{EngineConfig, PolicyKind};
-use tangram_core::report::RunReport;
-use tangram_core::workload::{CameraTrace, TraceConfig};
+use tangram_core::engine::PolicyKind;
+use tangram_harness::presets::{motivation_scenes, trace_kind};
+use tangram_harness::{bench_report, run_grid_full, CellOutcome, SweepGrid, WorkloadSpec};
 use tangram_sim::stats::EmpiricalCdf;
-use tangram_types::ids::SceneId;
 use tangram_types::time::SimDuration;
 
 fn main() {
     let opts = ExpOpts::from_args();
     let frames = opts.frame_budget(40, 134);
-    let scenes: Vec<SceneId> = SceneId::all()
-        .take(if opts.quick { 2 } else { 5 })
-        .collect();
-    let traces: Vec<CameraTrace> = scenes
-        .iter()
-        .map(|&scene| {
-            if opts.quick {
-                TraceConfig::proxy_extractor(scene, frames, opts.seed).build()
-            } else {
-                TraceConfig::gmm_extractor(scene, frames, opts.seed).build()
-            }
-        })
-        .collect();
+    let scenes = motivation_scenes(opts.quick);
+    let kind = trace_kind(opts.quick);
+
+    let mut grid = SweepGrid::named("fig14_insight");
+    grid.policies = vec![PolicyKind::Tangram];
+    grid.seeds = vec![opts.seed];
+    grid.slos_s = vec![1.0];
+    grid.bandwidths_mbps = vec![20.0, 40.0, 80.0];
+    grid.workloads = WorkloadSpec::per_scene(&scenes, frames, kind);
+
+    let outcomes = run_grid_full(&grid, opts.workers());
+    opts.maybe_write(&bench_report(&grid, &outcomes));
 
     let paper_amortized = [0.0252, 0.0223, 0.0213];
     let mut summary = TextTable::new([
@@ -42,21 +42,18 @@ fn main() {
     ]);
 
     for (bi, bw) in [20.0, 40.0, 80.0].into_iter().enumerate() {
+        let at_bw: Vec<&CellOutcome> = outcomes
+            .iter()
+            .filter(|o| (o.cell.bandwidth_mbps - bw).abs() < 1e-9)
+            .collect();
         let mut exec_cdf = EmpiricalCdf::new();
         let mut patch_cdf = EmpiricalCdf::new();
         let mut transmission = SimDuration::ZERO;
         let mut execution = SimDuration::ZERO;
         let mut joint = [[0u32; 10]; 10]; // canvases (1..=9) × patch bands
-        let mut reports: Vec<RunReport> = Vec::new();
-        for trace in &traces {
-            let config = EngineConfig {
-                policy: PolicyKind::Tangram,
-                slo: SimDuration::from_secs(1),
-                bandwidth_mbps: bw,
-                seed: opts.seed,
-                ..EngineConfig::default()
-            };
-            let report = config.run(std::slice::from_ref(trace));
+        let mut total_patches = 0usize;
+        for outcome in &at_bw {
+            let report = &outcome.report;
             for b in &report.batches {
                 exec_cdf.push(b.execution.as_secs_f64());
                 patch_cdf.push(b.patch_count as f64);
@@ -66,9 +63,8 @@ fn main() {
             }
             transmission += report.transmission_busy;
             execution += report.total_execution();
-            reports.push(report);
+            total_patches += report.patches_completed();
         }
-        let total_patches: usize = reports.iter().map(RunReport::patches_completed).sum();
         let amortized = execution.as_secs_f64() / total_patches.max(1) as f64;
         summary.row([
             format!("{bw:.0}Mbps"),

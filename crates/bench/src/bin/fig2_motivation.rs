@@ -4,8 +4,12 @@
 //! frame on the five motivation scenes;
 //! (b) mean RoI inference latency as the camera count grows on a single
 //! GPU worker.
+//!
+//! Both sub-figures fan their independent configurations (scenes, camera
+//! counts) out over the harness pool.
 
 use tangram_bench::{present_scaled, present_through_regions, ExpOpts, TextTable};
+use tangram_harness::parallel_map;
 use tangram_infer::accuracy::{DetectionSimulator, ResolutionProfile};
 use tangram_infer::ap::{ap50, FrameEval};
 use tangram_infer::latency::InferenceLatencyModel;
@@ -27,77 +31,84 @@ fn main() {
 
 fn fig2a(opts: &ExpOpts, frames: usize) {
     println!("== Fig. 2(a): accuracy of offloading strategies, AP@0.5 (ours vs paper) ==\n");
-    let simulator = DetectionSimulator::new(ResolutionProfile::yolov8x_4k());
     let mut table = TextTable::new(["scene", "server-driven", "content-aware", "full frame"]);
-    for scene in SceneId::all().take(5) {
-        let profile = SceneProfile::panda(scene);
-        let base = profile.full_frame_ap;
-        let mut rng = DetRng::new(opts.seed).fork_indexed("fig2a", u64::from(scene.index()));
-        let mut evals: [Vec<FrameEval>; 3] = [Vec::new(), Vec::new(), Vec::new()];
-        let mut sim = SceneSimulation::new(scene, VideoConfig::default(), opts.seed);
-        let mut content_extractor =
-            ProxyExtractor::new(DetectorProxy::ssdlite_mobilenet_v2(), rng.fork("content"));
-        for frame in sim.frames(frames) {
-            let bounds = Rect::from_size(frame.frame_size);
-            let truths = frame.object_rects();
+    let rows = parallel_map(
+        SceneId::all().take(5).collect::<Vec<_>>(),
+        opts.workers(),
+        |_, scene| {
+            let simulator = DetectionSimulator::new(ResolutionProfile::yolov8x_4k());
+            let profile = SceneProfile::panda(scene);
+            let base = profile.full_frame_ap;
+            let mut rng = DetRng::new(opts.seed).fork_indexed("fig2a", u64::from(scene.index()));
+            let mut evals: [Vec<FrameEval>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+            let mut sim = SceneSimulation::new(scene, VideoConfig::default(), opts.seed);
+            let mut content_extractor =
+                ProxyExtractor::new(DetectorProxy::ssdlite_mobilenet_v2(), rng.fork("content"));
+            for frame in sim.frames(frames) {
+                let bounds = Rect::from_size(frame.frame_size);
+                let truths = frame.object_rects();
 
-            // Server-driven: round 1 on a low-quality (quarter-scale)
-            // frame finds RoIs in the cloud; round 2 re-fetches only those
-            // regions in high quality.
-            let round1 = simulator.detect(
-                &present_scaled(&frame, 0.25),
-                frame.frame_size.megapixels() * 0.0625,
-                base,
-                bounds,
-                &mut rng,
-            );
-            let regions = merge_overlapping(
-                round1
-                    .iter()
-                    .map(|d| d.rect.inflated(24, &bounds))
-                    .collect(),
-                8,
-            );
-            let presented = present_through_regions(&frame, &regions);
-            let dets = simulator.detect(
-                &presented,
-                regions.iter().map(|r| r.area() as f64).sum::<f64>() / 1.0e6,
-                base,
-                bounds,
-                &mut rng,
-            );
-            evals[0].push(FrameEval::new(truths.clone(), dets));
+                // Server-driven: round 1 on a low-quality (quarter-scale)
+                // frame finds RoIs in the cloud; round 2 re-fetches only
+                // those regions in high quality.
+                let round1 = simulator.detect(
+                    &present_scaled(&frame, 0.25),
+                    frame.frame_size.megapixels() * 0.0625,
+                    base,
+                    bounds,
+                    &mut rng,
+                );
+                let regions = merge_overlapping(
+                    round1
+                        .iter()
+                        .map(|d| d.rect.inflated(24, &bounds))
+                        .collect(),
+                    8,
+                );
+                let presented = present_through_regions(&frame, &regions);
+                let dets = simulator.detect(
+                    &presented,
+                    regions.iter().map(|r| r.area() as f64).sum::<f64>() / 1.0e6,
+                    base,
+                    bounds,
+                    &mut rng,
+                );
+                evals[0].push(FrameEval::new(truths.clone(), dets));
 
-            // Content-aware: the edge's lightweight model picks the RoIs.
-            let regions = content_extractor.extract(&frame);
-            let presented = present_through_regions(&frame, &regions);
-            let dets = simulator.detect(
-                &presented,
-                regions.iter().map(|r| r.area() as f64).sum::<f64>() / 1.0e6,
-                base,
-                bounds,
-                &mut rng,
-            );
-            evals[1].push(FrameEval::new(truths.clone(), dets));
+                // Content-aware: the edge's lightweight model picks the RoIs.
+                let regions = content_extractor.extract(&frame);
+                let presented = present_through_regions(&frame, &regions);
+                let dets = simulator.detect(
+                    &presented,
+                    regions.iter().map(|r| r.area() as f64).sum::<f64>() / 1.0e6,
+                    base,
+                    bounds,
+                    &mut rng,
+                );
+                evals[1].push(FrameEval::new(truths.clone(), dets));
 
-            // Full frame at native resolution.
-            let dets = simulator.detect(
-                &present_scaled(&frame, 1.0),
-                frame.frame_size.megapixels(),
-                base,
-                bounds,
-                &mut rng,
-            );
-            evals[2].push(FrameEval::new(truths, dets));
-        }
-        let paper_sd = profile.server_driven_ap.unwrap_or(0.0);
-        let paper_ca = profile.content_aware_ap.unwrap_or(0.0);
-        table.row([
-            scene.to_string(),
-            format!("{:.2} ({:.2})", ap50(&evals[0]), paper_sd),
-            format!("{:.2} ({:.2})", ap50(&evals[1]), paper_ca),
-            format!("{:.2} ({:.2})", ap50(&evals[2]), profile.full_frame_ap),
-        ]);
+                // Full frame at native resolution.
+                let dets = simulator.detect(
+                    &present_scaled(&frame, 1.0),
+                    frame.frame_size.megapixels(),
+                    base,
+                    bounds,
+                    &mut rng,
+                );
+                evals[2].push(FrameEval::new(truths, dets));
+            }
+            let paper_sd = profile.server_driven_ap.unwrap_or(0.0);
+            let paper_ca = profile.content_aware_ap.unwrap_or(0.0);
+            vec![
+                scene.to_string(),
+                format!("{:.2} ({:.2})", ap50(&evals[0]), paper_sd),
+                format!("{:.2} ({:.2})", ap50(&evals[1]), paper_ca),
+                format!("{:.2} ({:.2})", ap50(&evals[2]), profile.full_frame_ap),
+            ]
+        },
+    );
+    for row in rows {
+        table.row(row);
     }
     table.print();
     println!(
@@ -110,51 +121,58 @@ fn fig2b(opts: &ExpOpts) {
     // One GPU worker serves every camera's per-frame RoI request
     // sequentially (no batching, the status-quo deployment): queueing
     // pushes latency super-linearly once utilisation approaches 1.
-    let model = InferenceLatencyModel::rtx4090_yolov8x();
     let frames = opts.frame_budget(80, 200);
     // ~3 fps per camera puts five cameras at ≈ 0.9 utilisation of one
     // GPU — the paper's saturation point.
     let fps = 3.0;
     let paper = [59.1, 67.2, 75.0, 121.7, 325.8];
     let mut table = TextTable::new(["#cameras", "mean latency ms (paper)"]);
-    for cams in 1..=5usize {
-        let mut rng = DetRng::new(opts.seed).fork_indexed("fig2b", cams as u64);
-        let mut sims: Vec<SceneSimulation> = (0..cams)
-            .map(|c| {
-                SceneSimulation::new(
-                    SceneId::new((c % 5 + 1) as u8),
-                    VideoConfig::default(),
-                    opts.seed + c as u64,
-                )
-            })
-            .collect();
-        let mut gpu_free = SimTime::ZERO;
-        let mut total_latency = SimDuration::ZERO;
-        let mut requests = 0u64;
-        for fi in 0..frames {
-            let t_frame = SimTime::from_secs_f64(fi as f64 / fps);
-            for sim in &mut sims {
-                let frame = sim.next_frame();
-                // The camera's RoIs, inferred as one per-camera request.
-                let roi_mpx: f64 = frame
-                    .objects
-                    .iter()
-                    .map(|o| o.rect.area() as f64)
-                    .sum::<f64>()
-                    / 1.0e6;
-                let exec = model.sample(roi_mpx.max(0.05), &mut rng);
-                let start = gpu_free.max(t_frame);
-                let finish = start + exec;
-                gpu_free = finish;
-                total_latency += finish.since(t_frame);
-                requests += 1;
+    let rows = parallel_map(
+        (1..=5usize).collect::<Vec<_>>(),
+        opts.workers(),
+        |_, cams| {
+            let model = InferenceLatencyModel::rtx4090_yolov8x();
+            let mut rng = DetRng::new(opts.seed).fork_indexed("fig2b", cams as u64);
+            let mut sims: Vec<SceneSimulation> = (0..cams)
+                .map(|c| {
+                    SceneSimulation::new(
+                        SceneId::new((c % 5 + 1) as u8),
+                        VideoConfig::default(),
+                        opts.seed + c as u64,
+                    )
+                })
+                .collect();
+            let mut gpu_free = SimTime::ZERO;
+            let mut total_latency = SimDuration::ZERO;
+            let mut requests = 0u64;
+            for fi in 0..frames {
+                let t_frame = SimTime::from_secs_f64(fi as f64 / fps);
+                for sim in &mut sims {
+                    let frame = sim.next_frame();
+                    // The camera's RoIs, inferred as one per-camera request.
+                    let roi_mpx: f64 = frame
+                        .objects
+                        .iter()
+                        .map(|o| o.rect.area() as f64)
+                        .sum::<f64>()
+                        / 1.0e6;
+                    let exec = model.sample(roi_mpx.max(0.05), &mut rng);
+                    let start = gpu_free.max(t_frame);
+                    let finish = start + exec;
+                    gpu_free = finish;
+                    total_latency += finish.since(t_frame);
+                    requests += 1;
+                }
             }
-        }
-        let mean_ms = total_latency.as_millis_f64() / requests as f64;
-        table.row([
-            format!("{cams}"),
-            format!("{:.1} ({:.1})", mean_ms, paper[cams - 1]),
-        ]);
+            let mean_ms = total_latency.as_millis_f64() / requests as f64;
+            vec![
+                format!("{cams}"),
+                format!("{:.1} ({:.1})", mean_ms, paper[cams - 1]),
+            ]
+        },
+    );
+    for row in rows {
+        table.row(row);
     }
     table.print();
     println!(

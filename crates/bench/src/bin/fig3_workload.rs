@@ -2,8 +2,11 @@
 //!
 //! (a) the RoI-proportion time series of each scene (sampled every 10
 //! frames here); (b) the CDF of RoI proportion pooled over all scenes.
+//! Scenes fan out over the harness pool; the pooled CDF is assembled in
+//! scene order afterwards.
 
 use tangram_bench::{ExpOpts, TextTable};
+use tangram_harness::parallel_map;
 use tangram_sim::stats::EmpiricalCdf;
 use tangram_types::ids::SceneId;
 use tangram_video::generator::{FrameTruth, SceneSimulation, VideoConfig};
@@ -13,24 +16,32 @@ fn main() {
     let frames = opts.frame_budget(60, 200);
     println!("== Fig. 3(a): RoI proportion over time (sampled every 10 frames) ==\n");
 
+    let per_scene = parallel_map(
+        SceneId::all().collect::<Vec<_>>(),
+        opts.workers(),
+        |_, scene| {
+            let mut sim = SceneSimulation::new(scene, VideoConfig::default(), opts.seed);
+            let props: Vec<f64> = sim
+                .frames(frames)
+                .iter()
+                .map(FrameTruth::roi_proportion)
+                .collect();
+            (scene, props)
+        },
+    );
+
     let mut cdf = EmpiricalCdf::new();
     let mut series_table =
         TextTable::new(["scene", "mean", "min", "max", "samples (every 10th frame)"]);
-    for scene in SceneId::all() {
-        let mut sim = SceneSimulation::new(scene, VideoConfig::default(), opts.seed);
-        let props: Vec<f64> = sim
-            .frames(frames)
-            .iter()
-            .map(FrameTruth::roi_proportion)
-            .collect();
+    for (scene, props) in &per_scene {
         cdf.extend(props.iter().copied());
         let mean = props.iter().sum::<f64>() / props.len() as f64;
-        let min = props.iter().cloned().fold(f64::INFINITY, f64::min);
-        let max = props.iter().cloned().fold(0.0f64, f64::max);
+        let min = props.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = props.iter().copied().fold(0.0f64, f64::max);
         let samples: Vec<String> = props
             .iter()
             .step_by(10)
-            .map(|p| format!("{:.3}", p))
+            .map(|p| format!("{p:.3}"))
             .collect();
         series_table.row([
             scene.to_string(),

@@ -3,9 +3,11 @@
 //! (a) the RoI width/height scatter of scene_01 (summarised as a 2-D
 //! histogram); (b) AP versus evaluation resolution for the 4K-trained and
 //! 480P-trained model profiles — the downsize/upsize accuracy cliff that
-//! motivates stitching over resizing.
+//! motivates stitching over resizing. The (profile × resolution) cells of
+//! (b) fan out over the harness pool with a per-cell rng fork.
 
 use tangram_bench::{present_scaled, ExpOpts, TextTable};
+use tangram_harness::parallel_map;
 use tangram_infer::accuracy::{DetectionSimulator, ResolutionProfile};
 use tangram_infer::ap::{ap50, FrameEval};
 use tangram_sim::rng::DetRng;
@@ -42,7 +44,7 @@ fn main() {
             ">=320".to_string()
         };
         let mut cells = vec![label];
-        cells.extend(row.iter().map(|c| c.to_string()));
+        cells.extend(row.iter().map(ToString::to_string));
         t.row(cells);
     }
     t.print();
@@ -66,33 +68,39 @@ fn main() {
         "4K-trained AP (paper)",
         "480P-trained AP (paper)",
     ]);
-    let profiles = [
-        ResolutionProfile::yolov8x_4k(),
-        ResolutionProfile::yolov8x_480p(),
-    ];
-    let mut results = [Vec::new(), Vec::new()];
-    for (pi, profile) in profiles.iter().enumerate() {
-        let simulator = DetectionSimulator::new(profile.clone());
-        for &(_, scale) in &resolutions {
-            let mut evals: Vec<FrameEval> = Vec::new();
-            let mut rng = DetRng::new(opts.seed).fork_indexed("fig4", pi as u64);
-            for scene in SceneId::all().take(5) {
-                let base = SceneProfile::panda(scene).full_frame_ap;
-                let mut sim = SceneSimulation::new(scene, VideoConfig::default(), opts.seed);
-                for frame in sim.frames(frames / 2) {
-                    let presented = present_scaled(&frame, scale);
-                    let dets = simulator.detect(
-                        &presented,
-                        frame.frame_size.megapixels() * scale * scale,
-                        base,
-                        Rect::from_size(frame.frame_size),
-                        &mut rng,
-                    );
-                    evals.push(FrameEval::new(frame.object_rects(), dets));
-                }
+    // One cell per (profile, resolution), independently seeded.
+    let cells: Vec<(usize, usize, f64)> = (0..2)
+        .flat_map(|pi| (0..resolutions.len()).map(move |ri| (pi, ri, resolutions[ri].1)))
+        .collect();
+    let aps = parallel_map(cells, opts.workers(), |_, (pi, ri, scale)| {
+        let profile = if pi == 0 {
+            ResolutionProfile::yolov8x_4k()
+        } else {
+            ResolutionProfile::yolov8x_480p()
+        };
+        let simulator = DetectionSimulator::new(profile);
+        let mut evals: Vec<FrameEval> = Vec::new();
+        let mut rng = DetRng::new(opts.seed).fork_indexed("fig4", (pi * 8 + ri) as u64);
+        for scene in SceneId::all().take(5) {
+            let base = SceneProfile::panda(scene).full_frame_ap;
+            let mut sim = SceneSimulation::new(scene, VideoConfig::default(), opts.seed);
+            for frame in sim.frames(frames / 2) {
+                let presented = present_scaled(&frame, scale);
+                let dets = simulator.detect(
+                    &presented,
+                    frame.frame_size.megapixels() * scale * scale,
+                    base,
+                    Rect::from_size(frame.frame_size),
+                    &mut rng,
+                );
+                evals.push(FrameEval::new(frame.object_rects(), dets));
             }
-            results[pi].push(ap50(&evals));
         }
+        (pi, ri, ap50(&evals))
+    });
+    let mut results = [[0.0f64; 5]; 2];
+    for (pi, ri, ap) in aps {
+        results[pi][ri] = ap;
     }
     for (i, &(name, _)) in resolutions.iter().enumerate() {
         table.row([

@@ -1,7 +1,11 @@
 //! Fig. 9 — bandwidth consumption per scene, normalised to Full Frame.
+//!
+//! Scenes fan out over the harness pool; trace construction comes from
+//! the shared presets.
 
 use tangram_bench::{ExpOpts, TextTable};
-use tangram_core::workload::TraceConfig;
+use tangram_harness::parallel_map;
+use tangram_harness::presets::{build_trace, scene_eval_frames, trace_kind};
 use tangram_types::ids::SceneId;
 use tangram_video::scene::SceneProfile;
 
@@ -24,38 +28,38 @@ const PAPER: [(f64, f64, f64); 10] = [
 
 fn main() {
     let opts = ExpOpts::from_args();
+    let kind = trace_kind(opts.quick);
     println!("== Fig. 9: bandwidth normalised to Full Frame (ours vs paper) ==\n");
     let mut table = TextTable::new(["scene", "Tangram 4x4", "Masked", "Full", "ELF"]);
-    for scene in SceneId::all() {
-        let profile = SceneProfile::panda(scene);
-        let frames = opts.frames.unwrap_or(if opts.quick {
-            25
-        } else {
-            profile.eval_frames as usize
-        });
-        let trace = if opts.quick {
-            TraceConfig::proxy_extractor(scene, frames, opts.seed).build()
-        } else {
-            TraceConfig::gmm_extractor(scene, frames, opts.seed).build()
-        };
-        let mut tangram = 0u64;
-        let mut masked = 0u64;
-        let mut full = 0u64;
-        let mut elf = 0u64;
-        for f in &trace.frames {
-            tangram += f.patches.iter().map(|p| p.encoded_size.get()).sum::<u64>();
-            masked += f.masked_frame_bytes.get();
-            full += f.full_frame_bytes.get();
-            elf += f.elf_patch_bytes.iter().map(|b| b.get()).sum::<u64>();
-        }
-        let p = PAPER[scene.array_index()];
-        table.row([
-            scene.to_string(),
-            format!("{:.3} ({:.3})", tangram as f64 / full as f64, p.0),
-            format!("{:.3} ({:.3})", masked as f64 / full as f64, p.1),
-            "1.000".to_string(),
-            format!("{:.3} ({:.3})", elf as f64 / full as f64, p.2),
-        ]);
+    let rows = parallel_map(
+        SceneId::all().collect::<Vec<_>>(),
+        opts.workers(),
+        |_, scene| {
+            let profile = SceneProfile::panda(scene);
+            let frames = scene_eval_frames(opts.frames, opts.quick, 25, profile.eval_frames);
+            let trace = build_trace(scene, frames, opts.seed, kind);
+            let mut tangram = 0u64;
+            let mut masked = 0u64;
+            let mut full = 0u64;
+            let mut elf = 0u64;
+            for f in &trace.frames {
+                tangram += f.patches.iter().map(|p| p.encoded_size.get()).sum::<u64>();
+                masked += f.masked_frame_bytes.get();
+                full += f.full_frame_bytes.get();
+                elf += f.elf_patch_bytes.iter().map(|b| b.get()).sum::<u64>();
+            }
+            let p = PAPER[scene.array_index()];
+            vec![
+                scene.to_string(),
+                format!("{:.3} ({:.3})", tangram as f64 / full as f64, p.0),
+                format!("{:.3} ({:.3})", masked as f64 / full as f64, p.1),
+                "1.000".to_string(),
+                format!("{:.3} ({:.3})", elf as f64 / full as f64, p.2),
+            ]
+        },
+    );
+    for row in rows {
+        table.row(row);
     }
     table.print();
     println!(

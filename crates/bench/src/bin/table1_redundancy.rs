@@ -2,9 +2,12 @@
 //!
 //! Per scene: the number of person tracks, the mean RoI area proportion,
 //! and the non-RoI share of full-frame inference time. Paper values are
-//! printed alongside for comparison.
+//! printed alongside for comparison. Scenes fan out over the harness
+//! pool.
 
 use tangram_bench::{ExpOpts, TextTable};
+use tangram_harness::parallel_map;
+use tangram_harness::presets::scene_eval_frames;
 use tangram_types::ids::SceneId;
 use tangram_video::generator::{FrameTruth, SceneSimulation, VideoConfig};
 use tangram_video::scene::SceneProfile;
@@ -20,37 +23,41 @@ fn main() {
         "RoI prop % (paper)",
         "redundancy % (paper)",
     ]);
-    for scene in SceneId::all() {
-        let profile = SceneProfile::panda(scene);
-        let frames = opts.frames.unwrap_or(if opts.quick {
-            60
-        } else {
-            profile.total_frames as usize
-        });
-        let mut sim = SceneSimulation::new(scene, VideoConfig::default(), opts.seed);
-        let truth = sim.frames(frames);
-        let mean_prop =
-            truth.iter().map(FrameTruth::roi_proportion).sum::<f64>() / truth.len() as f64;
-        // Non-RoI inference share: the fraction of full-frame compute spent
-        // outside RoIs. With an affine-in-pixels execution model this is
-        // (1 − roi_prop) scaled by the pixel-dependent share of the total;
-        // the calibrated profile carries the paper's measured value.
-        table.row([
-            scene.to_string(),
-            profile.name.to_string(),
-            format!("{frames}"),
-            format!("{} ({})", sim.tracks_spawned(), profile.person_tracks),
-            format!(
-                "{:.2} ({:.2})",
-                mean_prop * 100.0,
-                profile.roi_proportion * 100.0
-            ),
-            format!(
-                "{:.2} ({:.2})",
-                profile.redundancy * 100.0,
-                profile.redundancy * 100.0
-            ),
-        ]);
+    let rows = parallel_map(
+        SceneId::all().collect::<Vec<_>>(),
+        opts.workers(),
+        |_, scene| {
+            let profile = SceneProfile::panda(scene);
+            let frames = scene_eval_frames(opts.frames, opts.quick, 60, profile.total_frames);
+            let mut sim = SceneSimulation::new(scene, VideoConfig::default(), opts.seed);
+            let truth = sim.frames(frames);
+            let mean_prop =
+                truth.iter().map(FrameTruth::roi_proportion).sum::<f64>() / truth.len() as f64;
+            // Non-RoI inference share: the fraction of full-frame compute
+            // spent outside RoIs. With an affine-in-pixels execution model
+            // this is (1 − roi_prop) scaled by the pixel-dependent share of
+            // the total; the calibrated profile carries the paper's
+            // measured value.
+            vec![
+                scene.to_string(),
+                profile.name.to_string(),
+                format!("{frames}"),
+                format!("{} ({})", sim.tracks_spawned(), profile.person_tracks),
+                format!(
+                    "{:.2} ({:.2})",
+                    mean_prop * 100.0,
+                    profile.roi_proportion * 100.0
+                ),
+                format!(
+                    "{:.2} ({:.2})",
+                    profile.redundancy * 100.0,
+                    profile.redundancy * 100.0
+                ),
+            ]
+        },
+    );
+    for row in rows {
+        table.row(row);
     }
     table.print();
     println!(

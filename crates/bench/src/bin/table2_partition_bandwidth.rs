@@ -2,17 +2,16 @@
 //! partition grid varies: 2×2 vs 4×4 vs 6×6.
 //!
 //! RoIs are extracted once per frame (GMM pipeline) and partitioned three
-//! ways, exactly isolating the effect of zone granularity.
+//! ways, exactly isolating the effect of zone granularity. Scenes fan
+//! out over the harness pool via the shared warmed-extractor rig.
 
 use tangram_bench::{ExpOpts, TextTable};
+use tangram_harness::parallel_map;
+use tangram_harness::presets::{scene_eval_frames, EdgeExtractor, SceneRig};
 use tangram_partition::algorithm::{partition, PartitionConfig};
-use tangram_sim::rng::DetRng;
 use tangram_types::ids::SceneId;
 use tangram_video::codec::CodecModel;
-use tangram_video::generator::{SceneSimulation, VideoConfig};
 use tangram_video::scene::SceneProfile;
-use tangram_vision::detector::DetectorProxy;
-use tangram_vision::extractor::{GmmExtractor, ProxyExtractor, RoiExtractor};
 
 /// Paper's Table II percentages: (2×2, 4×4, 6×6).
 const PAPER: [(f64, f64, f64); 10] = [
@@ -30,7 +29,6 @@ const PAPER: [(f64, f64, f64); 10] = [
 
 fn main() {
     let opts = ExpOpts::from_args();
-    let codec = CodecModel::default();
     let grids = [
         PartitionConfig::new(2, 2),
         PartitionConfig::new(4, 4),
@@ -38,56 +36,41 @@ fn main() {
     ];
     println!("== Table II: bandwidth vs Full Frame, % (ours vs paper) ==\n");
     let mut table = TextTable::new(["scene", "2x2 %", "4x4 %", "6x6 %"]);
-    for scene in SceneId::all() {
-        let profile = SceneProfile::panda(scene);
-        let frames = opts.frames.unwrap_or(if opts.quick {
-            25
-        } else {
-            profile.eval_frames as usize
-        });
-        let use_gmm = !opts.quick;
-        let video = VideoConfig {
-            render: use_gmm,
-            raster_scale: 0.25,
-            ..VideoConfig::default()
-        };
-        let mut sim = SceneSimulation::new(scene, video, opts.seed);
-        let mut extractor: Box<dyn RoiExtractor> = if use_gmm {
-            Box::new(GmmExtractor::default())
-        } else {
-            Box::new(ProxyExtractor::new(
-                DetectorProxy::ssdlite_mobilenet_v2(),
-                DetRng::new(opts.seed).fork_indexed("t2", u64::from(scene.index())),
-            ))
-        };
-        // Extractor warm-up (background model convergence).
-        let warmup = if use_gmm { 30 } else { 0 };
-        for _ in 0..warmup {
-            let f = sim.next_frame();
-            let _ = extractor.extract(&f);
-        }
-        let mut grid_bytes = [0u64; 3];
-        let mut full_bytes = 0u64;
-        for _ in 0..frames {
-            let frame = sim.next_frame();
-            let rois = extractor.extract(&frame);
-            full_bytes += codec.full_frame_bytes(frame.frame_size).get();
-            for (gi, grid) in grids.iter().enumerate() {
-                let patches = partition(frame.frame_size, *grid, &rois);
-                grid_bytes[gi] += codec.patches_bytes(patches.iter()).get();
+    let rows = parallel_map(
+        SceneId::all().collect::<Vec<_>>(),
+        opts.workers(),
+        |_, scene| {
+            let codec = CodecModel::default();
+            let profile = SceneProfile::panda(scene);
+            let frames = scene_eval_frames(opts.frames, opts.quick, 25, profile.eval_frames);
+            let mut rig =
+                SceneRig::new(scene, EdgeExtractor::for_mode(opts.quick), opts.seed, "t2");
+            let mut grid_bytes = [0u64; 3];
+            let mut full_bytes = 0u64;
+            for _ in 0..frames {
+                let frame = rig.sim.next_frame();
+                let rois = rig.extractor.extract(&frame);
+                full_bytes += codec.full_frame_bytes(frame.frame_size).get();
+                for (gi, grid) in grids.iter().enumerate() {
+                    let patches = partition(frame.frame_size, *grid, &rois);
+                    grid_bytes[gi] += codec.patches_bytes(patches.iter()).get();
+                }
             }
-        }
-        let p = PAPER[scene.array_index()];
-        let paper = [p.0, p.1, p.2];
-        let mut cells = vec![scene.to_string()];
-        for gi in 0..3 {
-            cells.push(format!(
-                "{:.1} ({:.1})",
-                grid_bytes[gi] as f64 / full_bytes as f64 * 100.0,
-                paper[gi]
-            ));
-        }
-        table.row(cells);
+            let p = PAPER[scene.array_index()];
+            let paper = [p.0, p.1, p.2];
+            let mut cells = vec![scene.to_string()];
+            for gi in 0..3 {
+                cells.push(format!(
+                    "{:.1} ({:.1})",
+                    grid_bytes[gi] as f64 / full_bytes as f64 * 100.0,
+                    paper[gi]
+                ));
+            }
+            cells
+        },
+    );
+    for row in rows {
+        table.row(row);
     }
     table.print();
     println!(

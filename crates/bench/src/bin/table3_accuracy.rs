@@ -5,18 +5,18 @@
 //! mode) and partitioned three ways; objects outside every patch cannot
 //! be detected, objects clipped by patch boundaries are harder — the
 //! mechanism behind the paper's small, granularity-dependent losses.
+//! Scenes fan out over the harness pool via the shared extractor rig.
 
 use tangram_bench::{present_scaled, present_through_regions, ExpOpts, TextTable};
+use tangram_harness::parallel_map;
+use tangram_harness::presets::{EdgeExtractor, SceneRig};
 use tangram_infer::accuracy::{DetectionSimulator, ResolutionProfile};
 use tangram_infer::ap::{ap50, FrameEval};
 use tangram_partition::algorithm::{partition, PartitionConfig};
 use tangram_sim::rng::DetRng;
 use tangram_types::geometry::Rect;
 use tangram_types::ids::SceneId;
-use tangram_video::generator::{SceneSimulation, VideoConfig};
 use tangram_video::scene::SceneProfile;
-use tangram_vision::detector::DetectorProxy;
-use tangram_vision::extractor::{GmmExtractor, ProxyExtractor, RoiExtractor};
 
 /// Paper Table III: (full, 2×2, 4×4, 6×6) per scene.
 const PAPER: [(f64, f64, f64, f64); 10] = [
@@ -35,8 +35,6 @@ const PAPER: [(f64, f64, f64, f64); 10] = [
 fn main() {
     let opts = ExpOpts::from_args();
     let frames = opts.frame_budget(20, 60);
-    let use_gmm = !opts.quick;
-    let simulator = DetectionSimulator::new(ResolutionProfile::yolov8x_4k());
     let grids = [
         PartitionConfig::new(2, 2),
         PartitionConfig::new(4, 4),
@@ -44,62 +42,53 @@ fn main() {
     ];
     println!("== Table III: AP@0.5 vs partition granularity (ours vs paper) ==\n");
     let mut table = TextTable::new(["scene", "full", "2x2", "4x4", "6x6"]);
-    for scene in SceneId::all() {
-        let profile = SceneProfile::panda(scene);
-        let base = profile.full_frame_ap;
-        let mut rng = DetRng::new(opts.seed).fork_indexed("t3", u64::from(scene.index()));
-        let video = VideoConfig {
-            render: use_gmm,
-            raster_scale: 0.25,
-            ..VideoConfig::default()
-        };
-        let mut sim = SceneSimulation::new(scene, video, opts.seed);
-        let mut extractor: Box<dyn RoiExtractor> = if use_gmm {
-            Box::new(GmmExtractor::default())
-        } else {
-            Box::new(ProxyExtractor::new(
-                DetectorProxy::ssdlite_mobilenet_v2(),
-                rng.fork("edge"),
-            ))
-        };
-        let warmup = if use_gmm { 30 } else { 0 };
-        for _ in 0..warmup {
-            let f = sim.next_frame();
-            let _ = extractor.extract(&f);
-        }
-        // evals[0] = full frame; 1..=3 the three grids.
-        let mut evals: Vec<Vec<FrameEval>> = vec![Vec::new(); 4];
-        for _ in 0..frames {
-            let frame = sim.next_frame();
-            let bounds = Rect::from_size(frame.frame_size);
-            let truths = frame.object_rects();
-            let rois = extractor.extract(&frame);
+    let rows = parallel_map(
+        SceneId::all().collect::<Vec<_>>(),
+        opts.workers(),
+        |_, scene| {
+            let simulator = DetectionSimulator::new(ResolutionProfile::yolov8x_4k());
+            let profile = SceneProfile::panda(scene);
+            let base = profile.full_frame_ap;
+            let mut rng = DetRng::new(opts.seed).fork_indexed("t3", u64::from(scene.index()));
+            let mut rig =
+                SceneRig::new(scene, EdgeExtractor::for_mode(opts.quick), opts.seed, "t3");
+            // evals[0] = full frame; 1..=3 the three grids.
+            let mut evals: Vec<Vec<FrameEval>> = vec![Vec::new(); 4];
+            for _ in 0..frames {
+                let frame = rig.sim.next_frame();
+                let bounds = Rect::from_size(frame.frame_size);
+                let truths = frame.object_rects();
+                let rois = rig.extractor.extract(&frame);
 
-            let dets = simulator.detect(
-                &present_scaled(&frame, 1.0),
-                frame.frame_size.megapixels(),
-                base,
-                bounds,
-                &mut rng,
-            );
-            evals[0].push(FrameEval::new(truths.clone(), dets));
+                let dets = simulator.detect(
+                    &present_scaled(&frame, 1.0),
+                    frame.frame_size.megapixels(),
+                    base,
+                    bounds,
+                    &mut rng,
+                );
+                evals[0].push(FrameEval::new(truths.clone(), dets));
 
-            for (gi, grid) in grids.iter().enumerate() {
-                let patches = partition(frame.frame_size, *grid, &rois);
-                let presented = present_through_regions(&frame, &patches);
-                let mpx = patches.iter().map(|p| p.area() as f64).sum::<f64>() / 1.0e6;
-                let dets = simulator.detect(&presented, mpx, base, bounds, &mut rng);
-                evals[gi + 1].push(FrameEval::new(truths.clone(), dets));
+                for (gi, grid) in grids.iter().enumerate() {
+                    let patches = partition(frame.frame_size, *grid, &rois);
+                    let presented = present_through_regions(&frame, &patches);
+                    let mpx = patches.iter().map(|p| p.area() as f64).sum::<f64>() / 1.0e6;
+                    let dets = simulator.detect(&presented, mpx, base, bounds, &mut rng);
+                    evals[gi + 1].push(FrameEval::new(truths.clone(), dets));
+                }
             }
-        }
-        let aps: Vec<f64> = evals.iter().map(|e| ap50(e)).collect();
-        let p = PAPER[scene.array_index()];
-        let paper = [p.0, p.1, p.2, p.3];
-        let mut cells = vec![scene.to_string()];
-        for i in 0..4 {
-            cells.push(format!("{:.3} ({:.3})", aps[i], paper[i]));
-        }
-        table.row(cells);
+            let aps: Vec<f64> = evals.iter().map(|e| ap50(e)).collect();
+            let p = PAPER[scene.array_index()];
+            let paper = [p.0, p.1, p.2, p.3];
+            let mut cells = vec![scene.to_string()];
+            for i in 0..4 {
+                cells.push(format!("{:.3} ({:.3})", aps[i], paper[i]));
+            }
+            cells
+        },
+    );
+    for row in rows {
+        table.row(row);
     }
     table.print();
     println!(

@@ -2,10 +2,14 @@
 //!
 //! For each extractor (GMM, optical flow, SSDLite-MobileNetV2,
 //! Yolov3-MobileNetV2): AP using only its raw RoIs, AP after adaptive
-//! partitioning (4×4), and the bandwidth share of Full Frame. A full-frame
-//! detection run is the reference (the paper notes AP 0.60 for it).
+//! partitioning (4×4), and the bandwidth share of Full Frame. A
+//! full-frame detection run is the reference (the paper notes AP 0.60
+//! for it). Methods (and the reference pass) fan out over the harness
+//! pool via the shared extractor rig, each independently seeded.
 
 use tangram_bench::{present_scaled, present_through_regions, ExpOpts, TextTable};
+use tangram_harness::parallel_map;
+use tangram_harness::presets::{EdgeExtractor, SceneRig};
 use tangram_infer::accuracy::{DetectionSimulator, ResolutionProfile};
 use tangram_infer::ap::{ap50, FrameEval};
 use tangram_partition::algorithm::{partition, PartitionConfig};
@@ -13,10 +17,7 @@ use tangram_sim::rng::DetRng;
 use tangram_types::geometry::Rect;
 use tangram_types::ids::SceneId;
 use tangram_video::codec::CodecModel;
-use tangram_video::generator::{SceneSimulation, VideoConfig};
 use tangram_video::scene::SceneProfile;
-use tangram_vision::detector::DetectorProxy;
-use tangram_vision::extractor::{FlowExtractor, GmmExtractor, ProxyExtractor, RoiExtractor};
 
 /// Paper Table IV: (RoI AP, +Partition AP, BW %) per method.
 const PAPER: [(&str, f64, f64, f64); 4] = [
@@ -26,101 +27,105 @@ const PAPER: [(&str, f64, f64, f64); 4] = [
     ("Yolov3-MobileNetV2", 0.397, 0.583, 54.81),
 ];
 
+const METHODS: [EdgeExtractor; 4] = [
+    EdgeExtractor::Gmm,
+    EdgeExtractor::Flow,
+    EdgeExtractor::SsdProxy,
+    EdgeExtractor::YoloProxy,
+];
+
 fn main() {
     let opts = ExpOpts::from_args();
     let frames = opts.frame_budget(15, 50);
     let scenes: Vec<SceneId> = SceneId::all()
         .take(if opts.quick { 3 } else { 5 })
         .collect();
-    let simulator = DetectionSimulator::new(ResolutionProfile::yolov8x_4k());
-    let codec = CodecModel::default();
     let grid = PartitionConfig::default();
 
     println!("== Table IV: RoI extraction methods (ours vs paper) ==\n");
     let mut table = TextTable::new(["method", "RoI AP", "+Partition AP", "BW %"]);
-    let mut full_frame_evals: Vec<FrameEval> = Vec::new();
 
-    for (mi, &(name, paper_roi, paper_part, paper_bw)) in PAPER.iter().enumerate() {
-        let mut roi_evals: Vec<FrameEval> = Vec::new();
-        let mut part_evals: Vec<FrameEval> = Vec::new();
-        let mut patch_bytes = 0u64;
-        let mut full_bytes = 0u64;
-        for &scene in &scenes {
-            let profile = SceneProfile::panda(scene);
-            let base = profile.full_frame_ap;
-            let mut rng = DetRng::new(opts.seed)
-                .fork_indexed("t4", (mi * 100 + scene.index() as usize) as u64);
-            let needs_raster = mi < 2; // GMM and optical flow read pixels
-            let video = VideoConfig {
-                render: needs_raster,
-                raster_scale: 0.25,
-                ..VideoConfig::default()
-            };
-            let mut sim = SceneSimulation::new(scene, video, opts.seed);
-            let mut extractor: Box<dyn RoiExtractor> = match mi {
-                0 => Box::new(GmmExtractor::default()),
-                1 => Box::new(FlowExtractor::default()),
-                2 => Box::new(ProxyExtractor::new(
-                    DetectorProxy::ssdlite_mobilenet_v2(),
-                    rng.fork("edge"),
-                )),
-                _ => Box::new(ProxyExtractor::new(
-                    DetectorProxy::yolov3_mobilenet_v2(),
-                    rng.fork("edge"),
-                )),
-            };
-            let warmup = if needs_raster { 30 } else { 0 };
-            for _ in 0..warmup {
-                let f = sim.next_frame();
-                let _ = extractor.extract(&f);
-            }
-            for _ in 0..frames {
-                let frame = sim.next_frame();
-                let bounds = Rect::from_size(frame.frame_size);
-                let truths = frame.object_rects();
-                let rois = extractor.extract(&frame);
+    let scenes_for_rows = scenes.clone();
+    let rows = parallel_map(
+        METHODS.into_iter().enumerate().collect::<Vec<_>>(),
+        opts.workers(),
+        |_, (mi, method)| {
+            let simulator = DetectionSimulator::new(ResolutionProfile::yolov8x_4k());
+            let codec = CodecModel::default();
+            let mut roi_evals: Vec<FrameEval> = Vec::new();
+            let mut part_evals: Vec<FrameEval> = Vec::new();
+            let mut patch_bytes = 0u64;
+            let mut full_bytes = 0u64;
+            for &scene in &scenes_for_rows {
+                let profile = SceneProfile::panda(scene);
+                let base = profile.full_frame_ap;
+                let mut rng = DetRng::new(opts.seed)
+                    .fork_indexed("t4", (mi * 100 + scene.index() as usize) as u64);
+                let mut rig = SceneRig::new(scene, method, opts.seed, "t4");
+                for _ in 0..frames {
+                    let frame = rig.sim.next_frame();
+                    let bounds = Rect::from_size(frame.frame_size);
+                    let truths = frame.object_rects();
+                    let rois = rig.extractor.extract(&frame);
 
-                // RoI-only: ship the raw RoI crops.
-                let presented = present_through_regions(&frame, &rois);
-                let mpx = rois.iter().map(|r| r.area() as f64).sum::<f64>() / 1.0e6;
-                let dets = simulator.detect(&presented, mpx, base, bounds, &mut rng);
-                roi_evals.push(FrameEval::new(truths.clone(), dets));
+                    // RoI-only: ship the raw RoI crops.
+                    let presented = present_through_regions(&frame, &rois);
+                    let mpx = rois.iter().map(|r| r.area() as f64).sum::<f64>() / 1.0e6;
+                    let dets = simulator.detect(&presented, mpx, base, bounds, &mut rng);
+                    roi_evals.push(FrameEval::new(truths.clone(), dets));
 
-                // +Partition: align RoIs into patches first.
-                let patches = partition(frame.frame_size, grid, &rois);
-                let presented = present_through_regions(&frame, &patches);
-                let mpx = patches.iter().map(|p| p.area() as f64).sum::<f64>() / 1.0e6;
-                let dets = simulator.detect(&presented, mpx, base, bounds, &mut rng);
-                part_evals.push(FrameEval::new(truths.clone(), dets));
+                    // +Partition: align RoIs into patches first.
+                    let patches = partition(frame.frame_size, grid, &rois);
+                    let presented = present_through_regions(&frame, &patches);
+                    let mpx = patches.iter().map(|p| p.area() as f64).sum::<f64>() / 1.0e6;
+                    let dets = simulator.detect(&presented, mpx, base, bounds, &mut rng);
+                    part_evals.push(FrameEval::new(truths, dets));
 
-                patch_bytes += codec.patches_bytes(patches.iter()).get();
-                full_bytes += codec.full_frame_bytes(frame.frame_size).get();
-
-                // Full-frame reference (once, during the first method).
-                if mi == 0 {
-                    let dets = simulator.detect(
-                        &present_scaled(&frame, 1.0),
-                        frame.frame_size.megapixels(),
-                        base,
-                        bounds,
-                        &mut rng,
-                    );
-                    full_frame_evals.push(FrameEval::new(truths, dets));
+                    patch_bytes += codec.patches_bytes(patches.iter()).get();
+                    full_bytes += codec.full_frame_bytes(frame.frame_size).get();
                 }
             }
-        }
-        table.row([
-            name.to_string(),
-            format!("{:.3} ({:.3})", ap50(&roi_evals), paper_roi),
-            format!("{:.3} ({:.3})", ap50(&part_evals), paper_part),
-            format!(
-                "{:.1} ({:.1})",
-                patch_bytes as f64 / full_bytes as f64 * 100.0,
-                paper_bw
-            ),
-        ]);
+            let (name, paper_roi, paper_part, paper_bw) = PAPER[mi];
+            vec![
+                name.to_string(),
+                format!("{:.3} ({:.3})", ap50(&roi_evals), paper_roi),
+                format!("{:.3} ({:.3})", ap50(&part_evals), paper_part),
+                format!(
+                    "{:.1} ({:.1})",
+                    patch_bytes as f64 / full_bytes as f64 * 100.0,
+                    paper_bw
+                ),
+            ]
+        },
+    );
+    for row in rows {
+        table.row(row);
     }
     table.print();
+
+    // Full-frame reference, its own independently-seeded pass.
+    let scene_evals = parallel_map(scenes, opts.workers(), |_, scene| {
+        let simulator = DetectionSimulator::new(ResolutionProfile::yolov8x_4k());
+        let profile = SceneProfile::panda(scene);
+        let base = profile.full_frame_ap;
+        let mut rng = DetRng::new(opts.seed).fork_indexed("t4-full", u64::from(scene.index()));
+        let mut rig = SceneRig::new(scene, EdgeExtractor::SsdProxy, opts.seed, "t4-full");
+        let mut evals: Vec<FrameEval> = Vec::new();
+        for _ in 0..frames {
+            let frame = rig.sim.next_frame();
+            let bounds = Rect::from_size(frame.frame_size);
+            let dets = simulator.detect(
+                &present_scaled(&frame, 1.0),
+                frame.frame_size.megapixels(),
+                base,
+                bounds,
+                &mut rng,
+            );
+            evals.push(FrameEval::new(frame.object_rects(), dets));
+        }
+        evals
+    });
+    let full_frame_evals: Vec<FrameEval> = scene_evals.into_iter().flatten().collect();
     println!(
         "\nFull-frame reference AP: {:.3} (paper: 0.60). Partitioning lifts every\nextractor's accuracy by recovering objects the raw RoIs clip or miss; GMM\noffers the paper's preferred accuracy/bandwidth trade-off.",
         ap50(&full_frame_evals)

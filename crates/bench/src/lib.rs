@@ -1,131 +1,16 @@
-//! Shared experiment-harness utilities.
+//! Shared experiment utilities for the figure/table binaries.
 //!
 //! Every table and figure of the paper has a binary in `src/bin/` that
-//! regenerates it (see `DESIGN.md` §3 for the index). This library holds
-//! the bits they share: CLI options, aligned table printing, and the
+//! regenerates it. The sweep/parallelism/reporting machinery lives in
+//! [`tangram_harness`] (re-exported here); this library keeps only the
 //! accuracy-pipeline helpers that turn extractor output into
 //! [`tangram_infer::accuracy::PresentedObject`]s.
+
+pub use tangram_harness::{ExpOpts, TextTable};
 
 use tangram_infer::accuracy::PresentedObject;
 use tangram_types::geometry::Rect;
 use tangram_video::generator::FrameTruth;
-
-/// Options common to all experiment binaries.
-#[derive(Debug, Clone)]
-pub struct ExpOpts {
-    /// Experiment seed (`--seed N`).
-    pub seed: u64,
-    /// Frame-count override (`--frames N`).
-    pub frames: Option<usize>,
-    /// Quick mode (`--quick`): fewer frames/scenes for smoke runs.
-    pub quick: bool,
-}
-
-impl ExpOpts {
-    /// Parses `std::env::args`. Unknown flags are ignored so wrappers can
-    /// pass extra context.
-    #[must_use]
-    pub fn from_args() -> Self {
-        let args: Vec<String> = std::env::args().collect();
-        let mut opts = Self {
-            seed: 42,
-            frames: None,
-            quick: false,
-        };
-        let mut i = 1;
-        while i < args.len() {
-            match args[i].as_str() {
-                "--seed" => {
-                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
-                        opts.seed = v;
-                        i += 1;
-                    }
-                }
-                "--frames" => {
-                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
-                        opts.frames = Some(v);
-                        i += 1;
-                    }
-                }
-                "--quick" => opts.quick = true,
-                _ => {}
-            }
-            i += 1;
-        }
-        opts
-    }
-
-    /// Frame budget: explicit `--frames`, else `quick_default` in quick
-    /// mode, else `full_default`.
-    #[must_use]
-    pub fn frame_budget(&self, quick_default: usize, full_default: usize) -> usize {
-        self.frames.unwrap_or(if self.quick {
-            quick_default
-        } else {
-            full_default
-        })
-    }
-}
-
-/// A fixed-width text table.
-#[derive(Debug, Default)]
-pub struct TextTable {
-    headers: Vec<String>,
-    rows: Vec<Vec<String>>,
-}
-
-impl TextTable {
-    /// Creates a table with the given column headers.
-    #[must_use]
-    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
-        Self {
-            headers: headers.into_iter().map(Into::into).collect(),
-            rows: Vec::new(),
-        }
-    }
-
-    /// Adds a row (cells are stringified by the caller).
-    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) {
-        self.rows.push(cells.into_iter().map(Into::into).collect());
-    }
-
-    /// Renders the table with aligned columns.
-    #[must_use]
-    pub fn render(&self) -> String {
-        let columns = self.headers.len();
-        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
-        for row in &self.rows {
-            for (i, cell) in row.iter().enumerate().take(columns) {
-                widths[i] = widths[i].max(cell.len());
-            }
-        }
-        let mut out = String::new();
-        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-            let mut line = String::new();
-            for (i, cell) in cells.iter().enumerate() {
-                if i > 0 {
-                    line.push_str("  ");
-                }
-                line.push_str(&format!("{cell:<width$}", width = widths[i]));
-            }
-            line.trim_end().to_string()
-        };
-        out.push_str(&fmt_row(&self.headers, &widths));
-        out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (columns - 1)));
-        out.push('\n');
-        for row in &self.rows {
-            out.push_str(&fmt_row(row, &widths));
-            out.push('\n');
-        }
-        out
-    }
-
-    /// Prints the table to stdout.
-    pub fn print(&self) {
-        print!("{}", self.render());
-    }
-}
 
 /// Fraction of `object` covered by the union of `regions`, computed
 /// exactly via inclusion-exclusion on the clipped pieces (regions rarely
@@ -187,16 +72,6 @@ mod tests {
     use tangram_types::ids::{FrameId, SceneId};
     use tangram_types::time::SimTime;
     use tangram_video::object::GtObject;
-
-    #[test]
-    fn table_renders_aligned() {
-        let mut t = TextTable::new(["scene", "value"]);
-        t.row(["scene_01", "1.0"]);
-        t.row(["s2", "22.5"]);
-        let r = t.render();
-        assert!(r.contains("scene_01  1.0"));
-        assert!(r.lines().count() == 4);
-    }
 
     #[test]
     fn covered_fraction_full_and_none() {

@@ -216,6 +216,45 @@ impl RunReport {
         out
     }
 
+    /// Collapses the run into its scalar digest — the per-cell record the
+    /// experiment harness serialises into `BENCH_*.json`.
+    #[must_use]
+    pub fn summarize(&self) -> RunSummary {
+        let eff = self.canvas_efficiencies();
+        let mean_eff = if eff.is_empty() {
+            0.0
+        } else {
+            eff.iter().sum::<f64>() / eff.len() as f64
+        };
+        let violations = self.patches.iter().filter(|p| p.violated()).count() as u64;
+        let makespan_s = self.makespan.as_secs_f64();
+        RunSummary {
+            policy: self.policy.clone(),
+            frames: self.frames,
+            patches: self.patches_completed() as u64,
+            batches: self.batches.len() as u64,
+            violations,
+            slo_attainment: 1.0 - self.slo_violation_rate(),
+            mean_latency_s: self.mean_latency().as_secs_f64(),
+            p50_latency_s: self.latency_quantile(0.5).as_secs_f64(),
+            p99_latency_s: self.latency_quantile(0.99).as_secs_f64(),
+            cost_usd: self.total_cost().get(),
+            uplink_bytes: self.total_bytes().get(),
+            invocations: self.platform.invocations,
+            cold_starts: self.platform.cold_starts,
+            mean_canvas_efficiency: mean_eff,
+            mean_patches_per_batch: self.mean_patches_per_batch(),
+            execution_total_s: self.total_execution().as_secs_f64(),
+            transmission_total_s: self.transmission_busy.as_secs_f64(),
+            makespan_s,
+            throughput_pps: if makespan_s > 0.0 {
+                self.patches_completed() as f64 / makespan_s
+            } else {
+                0.0
+            },
+        }
+    }
+
     /// One-line human summary.
     #[must_use]
     pub fn summary(&self) -> String {
@@ -232,6 +271,57 @@ impl RunReport {
             self.total_bytes(),
         )
     }
+}
+
+/// The scalar digest of one [`RunReport`] — every metric a sweep cell
+/// records, and nothing that scales with the run length.
+///
+/// Values are plain numbers computed deterministically from the report,
+/// so two digests of the same seeded run compare bit-for-bit equal
+/// regardless of which thread produced them. `throughput_pps` is patches
+/// per *simulated* second (patches / makespan): a scheduling regression
+/// shows up as a drop here without any wall-clock noise entering the
+/// serialized record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Policy under test.
+    pub policy: String,
+    /// Frames injected.
+    pub frames: u64,
+    /// Patches completed.
+    pub patches: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Patches that missed their SLO.
+    pub violations: u64,
+    /// Fraction of patches that met their SLO.
+    pub slo_attainment: f64,
+    /// Mean end-to-end patch latency, seconds.
+    pub mean_latency_s: f64,
+    /// Median end-to-end patch latency, seconds.
+    pub p50_latency_s: f64,
+    /// 99th-percentile end-to-end patch latency, seconds.
+    pub p99_latency_s: f64,
+    /// Total Eqn. (1) cost, dollars.
+    pub cost_usd: f64,
+    /// Total uplink bytes.
+    pub uplink_bytes: u64,
+    /// Function invocations served.
+    pub invocations: u64,
+    /// Cold starts among them.
+    pub cold_starts: u64,
+    /// Mean canvas efficiency across batches (stitching policies only).
+    pub mean_canvas_efficiency: f64,
+    /// Mean patches per batch.
+    pub mean_patches_per_batch: f64,
+    /// Total function execution time, seconds.
+    pub execution_total_s: f64,
+    /// Total wire time spent transmitting, seconds.
+    pub transmission_total_s: f64,
+    /// Simulated makespan, seconds.
+    pub makespan_s: f64,
+    /// Patches completed per simulated second.
+    pub throughput_pps: f64,
 }
 
 #[cfg(test)]
@@ -306,6 +396,43 @@ mod tests {
         let bc = r.batches_csv();
         assert_eq!(bc.lines().count(), 2);
         assert!(bc.contains("0.6000"), "mean efficiency column: {bc}");
+    }
+
+    #[test]
+    fn summarize_digests_the_run() {
+        let mut r = report(vec![
+            record(0, 500_000, 1000),   // on time
+            record(0, 1_500_000, 1000), // late
+        ]);
+        r.batches = vec![BatchRecord {
+            dispatched_at: SimTime::ZERO,
+            inputs: 1,
+            patch_count: 2,
+            execution: SimDuration::from_millis(100),
+            cold: true,
+            cost: Dollars::new(0.001),
+            efficiencies: vec![0.5, 0.9],
+        }];
+        let s = r.summarize();
+        assert_eq!(s.policy, "test");
+        assert_eq!(s.patches, 2);
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.violations, 1);
+        assert!((s.slo_attainment - 0.5).abs() < 1e-12);
+        assert!((s.mean_canvas_efficiency - 0.7).abs() < 1e-12);
+        assert!((s.mean_patches_per_batch - 2.0).abs() < 1e-12);
+        assert!((s.execution_total_s - 0.1).abs() < 1e-12);
+        // makespan is 1 s in the fixture, so throughput = patches.
+        assert!((s.throughput_pps - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summarize_empty_run_is_sane() {
+        let s = report(vec![]).summarize();
+        assert_eq!(s.patches, 0);
+        assert_eq!(s.violations, 0);
+        assert_eq!(s.slo_attainment, 1.0);
+        assert_eq!(s.mean_canvas_efficiency, 0.0);
     }
 
     #[test]

@@ -1,0 +1,375 @@
+//! Declarative sweep grids.
+//!
+//! An experiment is the cartesian product of its axes — policy × seed ×
+//! workload × bandwidth × SLO × slack multiplier — exactly the shape of
+//! the paper's Fig. 8/12/13 evaluations. [`SweepGrid`] names the axes
+//! once; [`SweepGrid::cells`] enumerates every cell in a fixed order so a
+//! parallel run can be reassembled bit-for-bit identical to a sequential
+//! one.
+//!
+//! Each cell carries two *derived* seeds, forked from the cell's
+//! seed-axis value via [`DetRng::derive_seed`]:
+//!
+//! * `trace_seed` drives workload construction, shared by every cell on
+//!   the same (workload, seed) pair, so policies are compared over
+//!   byte-identical camera traces (paired comparison, as in the paper);
+//! * `engine_seed` seeds the engine's own stochastic substrates, likewise
+//!   shared across policy/bandwidth/SLO so only the axis under test
+//!   varies.
+
+use tangram_core::engine::{EngineConfig, PolicyKind};
+use tangram_sim::rng::DetRng;
+use tangram_types::ids::SceneId;
+use tangram_types::time::SimDuration;
+
+/// Which trace pipeline builds a workload's cameras.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Ground-truth-driven stochastic proxy: fast, no rasters.
+    Proxy,
+    /// Full pixel pipeline (Stauffer–Grimson GMM on rendered rasters).
+    Gmm,
+}
+
+impl TraceKind {
+    /// Stable name used in `BENCH_*.json`.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::Proxy => "proxy",
+            TraceKind::Gmm => "gmm",
+        }
+    }
+
+    /// Parses the stable name back.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<TraceKind> {
+        match name {
+            "proxy" => Some(TraceKind::Proxy),
+            "gmm" => Some(TraceKind::Gmm),
+            _ => None,
+        }
+    }
+}
+
+/// One workload axis entry: which cameras exist and what they observe.
+///
+/// A single-scene workload reproduces the paper's per-scene runs; a
+/// multi-scene workload replays all its cameras into one engine run
+/// (multi-camera load on a shared uplink).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Scene indices (1-based, as in `SceneId::new`), one camera each.
+    pub scenes: Vec<u8>,
+    /// Evaluation frames per camera.
+    pub frames: usize,
+    /// Trace pipeline.
+    pub trace: TraceKind,
+}
+
+impl WorkloadSpec {
+    /// A single-camera workload.
+    #[must_use]
+    pub fn single(scene: SceneId, frames: usize, trace: TraceKind) -> Self {
+        Self {
+            scenes: vec![scene.index()],
+            frames,
+            trace,
+        }
+    }
+
+    /// One single-camera workload per scene (the paper's per-scene runs).
+    #[must_use]
+    pub fn per_scene(scenes: &[SceneId], frames: usize, trace: TraceKind) -> Vec<Self> {
+        scenes
+            .iter()
+            .map(|&s| Self::single(s, frames, trace))
+            .collect()
+    }
+
+    /// The scene ids.
+    #[must_use]
+    pub fn scene_ids(&self) -> Vec<SceneId> {
+        self.scenes.iter().map(|&i| SceneId::new(i)).collect()
+    }
+}
+
+/// A declarative experiment: the cartesian product of its axes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepGrid {
+    /// Experiment name; `BENCH_<name>.json` is derived from it.
+    pub name: String,
+    /// Policies under test.
+    pub policies: Vec<PolicyKind>,
+    /// Replicate seeds; every derived stream forks from these.
+    pub seeds: Vec<u64>,
+    /// SLO axis, seconds.
+    pub slos_s: Vec<f64>,
+    /// Uplink bandwidth axis, Mbps.
+    pub bandwidths_mbps: Vec<f64>,
+    /// Estimator slack-multiplier axis (the paper's k; usually `[3.0]`).
+    pub sigma_multipliers: Vec<f64>,
+    /// Workload axis.
+    pub workloads: Vec<WorkloadSpec>,
+    /// MArk's per-bandwidth timeout lookup `(bandwidth_mbps, timeout_s)`;
+    /// cells at unlisted bandwidths fall back to the engine default
+    /// (half the SLO).
+    pub mark_timeouts_s: Vec<(f64, f64)>,
+    /// Camera frame-rate override for every cell (`None` = engine
+    /// default).
+    pub max_fps: Option<f64>,
+    /// Backend instance-cap override for every cell. The outer `None`
+    /// keeps the engine default; `Some(None)` means unlimited scale-out.
+    pub max_instances: Option<Option<usize>>,
+}
+
+impl SweepGrid {
+    /// A grid with empty axes (fill in what the experiment sweeps;
+    /// `sigma_multipliers` defaults to the paper's k = 3).
+    #[must_use]
+    pub fn named(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            policies: Vec::new(),
+            seeds: Vec::new(),
+            slos_s: Vec::new(),
+            bandwidths_mbps: Vec::new(),
+            sigma_multipliers: vec![3.0],
+            workloads: Vec::new(),
+            mark_timeouts_s: Vec::new(),
+            max_fps: None,
+            max_instances: None,
+        }
+    }
+
+    /// Number of cells the product spans.
+    #[must_use]
+    pub fn cell_count(&self) -> usize {
+        self.workloads.len()
+            * self.policies.len()
+            * self.bandwidths_mbps.len()
+            * self.slos_s.len()
+            * self.sigma_multipliers.len()
+            * self.seeds.len()
+    }
+
+    /// Enumerates every cell in a fixed order (workload-major, then
+    /// policy, bandwidth, SLO, sigma, seed). The order — and everything
+    /// else about a cell — is independent of how many workers later run
+    /// it.
+    #[must_use]
+    pub fn cells(&self) -> Vec<SweepCell> {
+        let mut cells = Vec::with_capacity(self.cell_count());
+        for (workload_index, _) in self.workloads.iter().enumerate() {
+            for &policy in &self.policies {
+                for &bandwidth_mbps in &self.bandwidths_mbps {
+                    for &slo_s in &self.slos_s {
+                        for &sigma_multiplier in &self.sigma_multipliers {
+                            for &seed in &self.seeds {
+                                let root = DetRng::new(seed);
+                                cells.push(SweepCell {
+                                    index: cells.len(),
+                                    policy,
+                                    seed,
+                                    slo_s,
+                                    bandwidth_mbps,
+                                    sigma_multiplier,
+                                    workload_index,
+                                    trace_seed: root
+                                        .derive_seed("harness-trace", workload_index as u64),
+                                    engine_seed: root
+                                        .derive_seed("harness-engine", workload_index as u64),
+                                    mark_timeout_s: self.mark_timeout_for(bandwidth_mbps),
+                                    max_fps: self.max_fps,
+                                    max_instances: self.max_instances,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// The MArk timeout configured for `bandwidth_mbps`, if any.
+    #[must_use]
+    pub fn mark_timeout_for(&self, bandwidth_mbps: f64) -> Option<f64> {
+        self.mark_timeouts_s
+            .iter()
+            .find(|(bw, _)| (*bw - bandwidth_mbps).abs() < 1e-9)
+            .map(|(_, t)| *t)
+    }
+}
+
+/// One fully-resolved cell of a [`SweepGrid`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCell {
+    /// Position in [`SweepGrid::cells`] order.
+    pub index: usize,
+    /// Policy under test.
+    pub policy: PolicyKind,
+    /// The seed-axis value this cell replicates.
+    pub seed: u64,
+    /// SLO, seconds.
+    pub slo_s: f64,
+    /// Uplink bandwidth, Mbps.
+    pub bandwidth_mbps: f64,
+    /// Estimator slack multiplier.
+    pub sigma_multiplier: f64,
+    /// Index into [`SweepGrid::workloads`].
+    pub workload_index: usize,
+    /// Derived seed for workload/trace construction (shared across
+    /// policies at the same workload × seed).
+    pub trace_seed: u64,
+    /// Derived seed for the engine's stochastic substrates.
+    pub engine_seed: u64,
+    /// MArk timeout for this cell's bandwidth, seconds.
+    pub mark_timeout_s: Option<f64>,
+    /// Frame-rate override.
+    pub max_fps: Option<f64>,
+    /// Instance-cap override.
+    pub max_instances: Option<Option<usize>>,
+}
+
+impl SweepCell {
+    /// Materialises the engine configuration for this cell.
+    #[must_use]
+    pub fn engine_config(&self) -> EngineConfig {
+        let mut config = EngineConfig {
+            policy: self.policy,
+            slo: SimDuration::from_secs_f64(self.slo_s),
+            bandwidth_mbps: self.bandwidth_mbps,
+            sigma_multiplier: self.sigma_multiplier,
+            mark_timeout: self.mark_timeout_s.map(SimDuration::from_secs_f64),
+            seed: self.engine_seed,
+            ..EngineConfig::default()
+        };
+        if let Some(fps) = self.max_fps {
+            config.max_fps = fps;
+        }
+        if let Some(cap) = self.max_instances {
+            config.max_instances = cap;
+        }
+        config
+    }
+}
+
+/// Parses a [`PolicyKind`] from its display name (the inverse of
+/// [`PolicyKind::name`]), for reading grids back out of `BENCH_*.json`.
+#[must_use]
+pub fn policy_from_name(name: &str) -> Option<PolicyKind> {
+    [
+        PolicyKind::Tangram,
+        PolicyKind::Clipper,
+        PolicyKind::Elf,
+        PolicyKind::Mark,
+        PolicyKind::FullFrame,
+        PolicyKind::MaskedFrame,
+    ]
+    .into_iter()
+    .find(|p| p.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_grid() -> SweepGrid {
+        let mut grid = SweepGrid::named("tiny");
+        grid.policies = vec![PolicyKind::Tangram, PolicyKind::Elf];
+        grid.seeds = vec![7, 8];
+        grid.slos_s = vec![1.0];
+        grid.bandwidths_mbps = vec![20.0, 40.0];
+        grid.workloads = vec![WorkloadSpec::single(SceneId::new(1), 10, TraceKind::Proxy)];
+        grid
+    }
+
+    #[test]
+    fn cell_count_matches_product() {
+        let grid = tiny_grid();
+        assert_eq!(grid.cell_count(), 2 * 2 * 2);
+        assert_eq!(grid.cells().len(), grid.cell_count());
+    }
+
+    #[test]
+    fn cell_indices_are_dense_and_ordered() {
+        let cells = tiny_grid().cells();
+        for (i, cell) in cells.iter().enumerate() {
+            assert_eq!(cell.index, i);
+        }
+    }
+
+    #[test]
+    fn trace_seed_is_paired_across_policies() {
+        let cells = tiny_grid().cells();
+        let tangram: Vec<_> = cells
+            .iter()
+            .filter(|c| c.policy == PolicyKind::Tangram && c.seed == 7)
+            .collect();
+        let elf: Vec<_> = cells
+            .iter()
+            .filter(|c| c.policy == PolicyKind::Elf && c.seed == 7)
+            .collect();
+        assert_eq!(tangram[0].trace_seed, elf[0].trace_seed);
+        assert_eq!(tangram[0].engine_seed, elf[0].engine_seed);
+        // …but replicate seeds decorrelate.
+        let other: Vec<_> = cells.iter().filter(|c| c.seed == 8).collect();
+        assert_ne!(tangram[0].trace_seed, other[0].trace_seed);
+    }
+
+    #[test]
+    fn mark_timeout_lookup() {
+        let mut grid = tiny_grid();
+        grid.mark_timeouts_s = vec![(20.0, 0.55), (40.0, 0.45)];
+        assert_eq!(grid.mark_timeout_for(20.0), Some(0.55));
+        assert_eq!(grid.mark_timeout_for(80.0), None);
+        let cell = &grid.cells()[0];
+        assert_eq!(
+            cell.mark_timeout_s,
+            grid.mark_timeout_for(cell.bandwidth_mbps)
+        );
+    }
+
+    #[test]
+    fn engine_config_reflects_cell() {
+        let mut grid = tiny_grid();
+        grid.max_fps = Some(5.0);
+        grid.max_instances = Some(None);
+        let cell = &grid.cells()[0];
+        let config = cell.engine_config();
+        assert_eq!(config.policy, cell.policy);
+        assert_eq!(config.seed, cell.engine_seed);
+        assert!((config.max_fps - 5.0).abs() < 1e-12);
+        assert_eq!(config.max_instances, None);
+        assert!((config.slo.as_secs_f64() - cell.slo_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for p in [
+            PolicyKind::Tangram,
+            PolicyKind::Clipper,
+            PolicyKind::Elf,
+            PolicyKind::Mark,
+            PolicyKind::FullFrame,
+            PolicyKind::MaskedFrame,
+        ] {
+            assert_eq!(policy_from_name(p.name()), Some(p));
+        }
+        assert_eq!(policy_from_name("nope"), None);
+    }
+
+    #[test]
+    fn trace_kind_names_round_trip() {
+        assert_eq!(
+            TraceKind::from_name(TraceKind::Proxy.name()),
+            Some(TraceKind::Proxy)
+        );
+        assert_eq!(
+            TraceKind::from_name(TraceKind::Gmm.name()),
+            Some(TraceKind::Gmm)
+        );
+        assert_eq!(TraceKind::from_name("x"), None);
+    }
+}

@@ -1,0 +1,41 @@
+//! The parallel experiment harness.
+//!
+//! Every figure, table and ablation of the paper — and every perf
+//! experiment CI gates on — is a sweep: a cartesian product of policy ×
+//! seed × workload × bandwidth × SLO cells, each cell one deterministic
+//! engine run. This crate turns that shape into infrastructure:
+//!
+//! * [`grid`] — declarative [`grid::SweepGrid`]s; cells carry seeds
+//!   forked per cell via `DetRng::derive_seed`, so results never depend
+//!   on which thread ran them;
+//! * [`pool`] — a crossbeam-channel worker pool
+//!   ([`pool::parallel_map`]) that preserves input order;
+//! * [`runner`] — [`runner::run_grid`]: traces built once per workload,
+//!   cells fanned out, results reassembled; parallel output is
+//!   bit-for-bit identical to `--workers 1`;
+//! * [`report`] — the versioned [`report::BenchReport`] written as
+//!   `BENCH_<name>.json`, plus the [`report::gate`] CI comparison
+//!   against a checked-in baseline;
+//! * [`presets`] — the shared experiment setup (paper sweep constants,
+//!   trace and engine constructors, warmed extractor rigs) the bins used
+//!   to copy-paste;
+//! * [`json`] — the deterministic JSON document model backing it all
+//!   (the vendored `serde` is a compile-only stub);
+//! * [`cli`] / [`table`] — the experiment binaries' shared flags and
+//!   text-table rendering.
+
+pub mod cli;
+pub mod grid;
+pub mod json;
+pub mod pool;
+pub mod presets;
+pub mod report;
+pub mod runner;
+pub mod table;
+
+pub use cli::ExpOpts;
+pub use grid::{SweepCell, SweepGrid, TraceKind, WorkloadSpec};
+pub use pool::parallel_map;
+pub use report::{gate, BenchReport, CellReport, GateConfig, SCHEMA_VERSION};
+pub use runner::{bench_report, run_grid, run_grid_full, CellOutcome};
+pub use table::TextTable;

@@ -1,0 +1,327 @@
+//! Shared experiment setup.
+//!
+//! Every fig/table/ablation bin used to hand-roll the same blocks: the
+//! paper's bandwidth/SLO sweep constants, the "proxy in `--quick`, GMM
+//! otherwise" trace construction, the warmed-up extractor rig of the
+//! table experiments, and the default engine configuration. They live
+//! here once, as constructors with a paper-default and a stress variant.
+
+use crate::grid::{SweepGrid, TraceKind, WorkloadSpec};
+use tangram_core::engine::{EngineConfig, PolicyKind};
+use tangram_core::workload::{CameraTrace, TraceConfig};
+use tangram_sim::rng::DetRng;
+use tangram_types::ids::SceneId;
+use tangram_types::time::SimDuration;
+use tangram_video::generator::{SceneSimulation, VideoConfig};
+use tangram_vision::detector::DetectorProxy;
+use tangram_vision::extractor::{FlowExtractor, GmmExtractor, ProxyExtractor, RoiExtractor};
+
+/// The paper's uplink sweep (Fig. 12/13/14).
+pub const PAPER_BANDWIDTHS_MBPS: [f64; 3] = [20.0, 40.0, 80.0];
+
+/// The four systems of the end-to-end comparison (Fig. 12).
+pub const E2E_POLICIES: [PolicyKind; 4] = [
+    PolicyKind::Tangram,
+    PolicyKind::Clipper,
+    PolicyKind::Elf,
+    PolicyKind::Mark,
+];
+
+/// The SLO axis the paper pairs with each bandwidth (tighter links get
+/// looser SLOs).
+#[must_use]
+pub fn paper_slos_s(bandwidth_mbps: f64) -> [f64; 5] {
+    if bandwidth_mbps <= 20.0 {
+        [1.0, 1.1, 1.2, 1.3, 1.4]
+    } else if bandwidth_mbps <= 40.0 {
+        [0.8, 0.9, 1.0, 1.1, 1.2]
+    } else {
+        [0.6, 0.7, 0.8, 0.9, 1.0]
+    }
+}
+
+/// MArk's per-bandwidth timeout ("an appropriate timeout for each
+/// bandwidth setting", §V-A) — fixed per bandwidth, unaware of the SLO,
+/// which is exactly the knob-tuning burden Tangram removes.
+#[must_use]
+pub fn paper_mark_timeouts_s() -> Vec<(f64, f64)> {
+    vec![(20.0, 0.55), (40.0, 0.45), (80.0, 0.35)]
+}
+
+/// The motivation-scene subset the end-to-end experiments replay: two
+/// scenes in quick mode, the paper's five otherwise.
+#[must_use]
+pub fn motivation_scenes(quick: bool) -> Vec<SceneId> {
+    SceneId::all().take(if quick { 2 } else { 5 }).collect()
+}
+
+/// The trace pipeline for a mode: the fast proxy in quick mode, the full
+/// GMM pixel pipeline (the paper's prototype) otherwise.
+#[must_use]
+pub fn trace_kind(quick: bool) -> TraceKind {
+    if quick {
+        TraceKind::Proxy
+    } else {
+        TraceKind::Gmm
+    }
+}
+
+/// Builds one camera trace with the chosen pipeline.
+#[must_use]
+pub fn build_trace(scene: SceneId, frames: usize, seed: u64, kind: TraceKind) -> CameraTrace {
+    match kind {
+        TraceKind::Proxy => TraceConfig::proxy_extractor(scene, frames, seed).build(),
+        TraceKind::Gmm => TraceConfig::gmm_extractor(scene, frames, seed).build(),
+    }
+}
+
+/// Builds every camera of a workload (one trace per scene entry).
+#[must_use]
+pub fn build_workload(spec: &WorkloadSpec, trace_seed: u64) -> Vec<CameraTrace> {
+    spec.scene_ids()
+        .iter()
+        .map(|&scene| build_trace(scene, spec.frames, trace_seed, spec.trace))
+        .collect()
+}
+
+/// The paper-default engine configuration (Alibaba FC prices, RTX 4090
+/// latency profile, 4-instance testbed cap) for one policy.
+#[must_use]
+pub fn paper_engine(policy: PolicyKind) -> EngineConfig {
+    EngineConfig {
+        policy,
+        ..EngineConfig::default()
+    }
+}
+
+/// The stress variant: unlimited scale-out and a doubled camera rate —
+/// the "how far does it scale" configuration rather than the testbed
+/// reproduction.
+#[must_use]
+pub fn stress_engine(policy: PolicyKind) -> EngineConfig {
+    EngineConfig {
+        policy,
+        max_fps: 20.0,
+        max_instances: None,
+        ..EngineConfig::default()
+    }
+}
+
+/// The Fig. 12-shaped grid at one bandwidth: four systems × the paper's
+/// five SLOs for that link, one single-camera workload per scene.
+#[must_use]
+pub fn e2e_grid(
+    name: &str,
+    bandwidth_mbps: f64,
+    scenes: &[SceneId],
+    frames: usize,
+    kind: TraceKind,
+    seed: u64,
+) -> SweepGrid {
+    let mut grid = SweepGrid::named(name);
+    grid.policies = E2E_POLICIES.to_vec();
+    grid.seeds = vec![seed];
+    grid.slos_s = paper_slos_s(bandwidth_mbps).to_vec();
+    grid.bandwidths_mbps = vec![bandwidth_mbps];
+    grid.workloads = WorkloadSpec::per_scene(scenes, frames, kind);
+    grid.mark_timeouts_s = paper_mark_timeouts_s();
+    grid
+}
+
+/// The CI smoke grid: a reduced two-axis sweep (four systems × two
+/// bandwidths over two proxy scenes) that finishes in seconds yet still
+/// exercises batching, stitching, padding and per-patch dispatch.
+#[must_use]
+pub fn smoke_grid(seed: u64) -> SweepGrid {
+    let mut grid = SweepGrid::named("smoke");
+    grid.policies = E2E_POLICIES.to_vec();
+    grid.seeds = vec![seed];
+    grid.slos_s = vec![1.0];
+    grid.bandwidths_mbps = vec![20.0, 40.0];
+    grid.workloads = WorkloadSpec::per_scene(&motivation_scenes(true), 12, TraceKind::Proxy);
+    grid.mark_timeouts_s = paper_mark_timeouts_s();
+    grid
+}
+
+/// Which edge extractor a [`SceneRig`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeExtractor {
+    /// Stauffer–Grimson background subtraction (reads rasters).
+    Gmm,
+    /// Dense optical flow (reads rasters).
+    Flow,
+    /// SSDLite-MobileNetV2 proxy (ground-truth-driven, no rasters).
+    SsdProxy,
+    /// Yolov3-MobileNetV2 proxy (ground-truth-driven, no rasters).
+    YoloProxy,
+}
+
+impl EdgeExtractor {
+    /// Whether the extractor consumes rendered rasters (and therefore
+    /// needs warm-up frames for its background model).
+    #[must_use]
+    pub fn needs_raster(self) -> bool {
+        matches!(self, EdgeExtractor::Gmm | EdgeExtractor::Flow)
+    }
+
+    /// The proxy-or-GMM choice the table experiments make from `--quick`.
+    #[must_use]
+    pub fn for_mode(quick: bool) -> Self {
+        if quick {
+            EdgeExtractor::SsdProxy
+        } else {
+            EdgeExtractor::Gmm
+        }
+    }
+
+    /// Stable name, used as an rng-fork label so different extractors
+    /// never share a random stream.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EdgeExtractor::Gmm => "gmm",
+            EdgeExtractor::Flow => "flow",
+            EdgeExtractor::SsdProxy => "ssd-proxy",
+            EdgeExtractor::YoloProxy => "yolo-proxy",
+        }
+    }
+}
+
+/// A scene simulation paired with a warmed-up RoI extractor — the
+/// repeated preamble of the Table II/III/IV experiments.
+pub struct SceneRig {
+    /// The scene simulation, positioned just past warm-up.
+    pub sim: SceneSimulation,
+    /// The extractor, background model converged.
+    pub extractor: Box<dyn RoiExtractor>,
+}
+
+impl SceneRig {
+    /// Builds the rig: raster rendering switched by the extractor's
+    /// needs, 30 warm-up frames fed through when it reads pixels, and the
+    /// proxy's randomness forked from `(label, extractor, scene)` so rigs
+    /// are decorrelated across experiments *and* across extractor kinds
+    /// within one experiment (Table IV compares proxies side by side).
+    #[must_use]
+    pub fn new(scene: SceneId, extractor: EdgeExtractor, seed: u64, label: &str) -> Self {
+        let video = VideoConfig {
+            render: extractor.needs_raster(),
+            raster_scale: 0.25,
+            ..VideoConfig::default()
+        };
+        let mut sim = SceneSimulation::new(scene, video, seed);
+        let rng = DetRng::new(seed)
+            .fork(label)
+            .fork(extractor.name())
+            .fork_indexed("edge", u64::from(scene.index()));
+        let mut boxed: Box<dyn RoiExtractor> = match extractor {
+            EdgeExtractor::Gmm => Box::new(GmmExtractor::default()),
+            EdgeExtractor::Flow => Box::new(FlowExtractor::default()),
+            EdgeExtractor::SsdProxy => Box::new(ProxyExtractor::new(
+                DetectorProxy::ssdlite_mobilenet_v2(),
+                rng,
+            )),
+            EdgeExtractor::YoloProxy => Box::new(ProxyExtractor::new(
+                DetectorProxy::yolov3_mobilenet_v2(),
+                rng,
+            )),
+        };
+        if extractor.needs_raster() {
+            for _ in 0..30 {
+                let frame = sim.next_frame();
+                let _ = boxed.extract(&frame);
+            }
+        }
+        Self {
+            sim,
+            extractor: boxed,
+        }
+    }
+}
+
+/// The per-scene frame budget the bandwidth/cost tables use: an explicit
+/// `--frames` override, a small fixed budget in quick mode, else the
+/// scene's evaluation split.
+#[must_use]
+pub fn scene_eval_frames(
+    frames_override: Option<usize>,
+    quick: bool,
+    quick_default: usize,
+    eval_frames: u32,
+) -> usize {
+    frames_override.unwrap_or(if quick {
+        quick_default
+    } else {
+        eval_frames as usize
+    })
+}
+
+/// Convenience: `SimDuration` from a float SLO axis value.
+#[must_use]
+pub fn slo(seconds: f64) -> SimDuration {
+    SimDuration::from_secs_f64(seconds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slo_axes_follow_bandwidth() {
+        assert_eq!(paper_slos_s(20.0)[0], 1.0);
+        assert_eq!(paper_slos_s(40.0)[0], 0.8);
+        assert_eq!(paper_slos_s(80.0)[0], 0.6);
+    }
+
+    #[test]
+    fn smoke_grid_is_small_and_two_axis() {
+        let grid = smoke_grid(42);
+        assert_eq!(grid.cell_count(), 4 * 2 * 2);
+        assert!(grid.cell_count() <= 16, "smoke must stay CI-sized");
+        assert_eq!(grid.bandwidths_mbps.len(), 2);
+        assert_eq!(grid.policies.len(), 4);
+    }
+
+    #[test]
+    fn e2e_grid_matches_paper_shape() {
+        let scenes = motivation_scenes(false);
+        let grid = e2e_grid("fig12_bw20", 20.0, &scenes, 40, TraceKind::Proxy, 1);
+        assert_eq!(grid.cell_count(), 4 * 5 * 5);
+        assert_eq!(grid.mark_timeout_for(20.0), Some(0.55));
+    }
+
+    #[test]
+    fn engine_presets_differ_where_advertised() {
+        let paper = paper_engine(PolicyKind::Tangram);
+        let stress = stress_engine(PolicyKind::Tangram);
+        assert_eq!(paper.max_instances, Some(4));
+        assert_eq!(stress.max_instances, None);
+        assert!(stress.max_fps > paper.max_fps);
+    }
+
+    #[test]
+    fn rig_warms_up_raster_extractors() {
+        let mut proxy = SceneRig::new(SceneId::new(1), EdgeExtractor::SsdProxy, 7, "t");
+        let frame = proxy.sim.next_frame();
+        // Frame counter starts at zero for non-raster rigs…
+        assert_eq!(frame.frame.raw(), 0);
+        let mut gmm = SceneRig::new(SceneId::new(1), EdgeExtractor::Gmm, 7, "t");
+        let frame = gmm.sim.next_frame();
+        // …and past the 30 warm-up frames for raster ones.
+        assert_eq!(frame.frame.raw(), 30);
+        let _ = gmm.extractor.extract(&frame);
+    }
+
+    #[test]
+    fn workload_builder_builds_one_trace_per_scene() {
+        let spec = WorkloadSpec {
+            scenes: vec![1, 2],
+            frames: 5,
+            trace: TraceKind::Proxy,
+        };
+        let traces = build_workload(&spec, 9);
+        assert_eq!(traces.len(), 2);
+        assert_eq!(traces[0].frames.len(), 5);
+        assert_ne!(traces[0].camera, traces[1].camera);
+    }
+}

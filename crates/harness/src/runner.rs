@@ -1,0 +1,129 @@
+//! Grid execution: fan cells out over the pool, reassemble in order.
+
+use crate::grid::{SweepCell, SweepGrid};
+use crate::pool::parallel_map;
+use crate::presets::build_workload;
+use crate::report::{BenchReport, CellReport};
+use std::collections::HashMap;
+use std::sync::Arc;
+use tangram_core::report::RunReport;
+use tangram_core::workload::CameraTrace;
+
+/// One cell's full outcome: the resolved cell plus the engine's complete
+/// [`RunReport`] (per-patch and per-batch records included), for
+/// experiments that need distributions rather than the scalar digest.
+pub struct CellOutcome {
+    /// The cell that ran.
+    pub cell: SweepCell,
+    /// The engine's full report.
+    pub report: RunReport,
+}
+
+/// Runs every cell of `grid` on `workers` threads, returning full
+/// outcomes in grid enumeration order.
+///
+/// Two parallel phases: workload traces are built once per unique
+/// `(workload, trace_seed)` pair (cells on the same pair share the exact
+/// same traces — the paired comparison the paper's per-scene tables
+/// need), then cells run against the shared traces. Both phases are
+/// deterministic per item, so the outcome is bit-for-bit identical for
+/// any worker count — including `--workers 1`.
+///
+/// # Panics
+///
+/// Panics if a cell's engine run panics (the engine asserts on invalid
+/// configurations, e.g. an empty workload).
+#[must_use]
+pub fn run_grid_full(grid: &SweepGrid, workers: usize) -> Vec<CellOutcome> {
+    let cells = grid.cells();
+
+    let mut trace_keys: Vec<(usize, u64)> = cells
+        .iter()
+        .map(|c| (c.workload_index, c.trace_seed))
+        .collect();
+    trace_keys.sort_unstable();
+    trace_keys.dedup();
+    let built: Vec<Arc<Vec<CameraTrace>>> =
+        parallel_map(trace_keys.clone(), workers, |_, (workload_index, seed)| {
+            Arc::new(build_workload(&grid.workloads[workload_index], seed))
+        });
+    let traces: HashMap<(usize, u64), Arc<Vec<CameraTrace>>> =
+        trace_keys.into_iter().zip(built).collect();
+
+    parallel_map(cells, workers, |_, cell| {
+        let traces = Arc::clone(&traces[&(cell.workload_index, cell.trace_seed)]);
+        let report = cell.engine_config().run(&traces);
+        CellOutcome { cell, report }
+    })
+}
+
+/// Collapses full outcomes into the serialisable [`BenchReport`].
+#[must_use]
+pub fn bench_report(grid: &SweepGrid, outcomes: &[CellOutcome]) -> BenchReport {
+    BenchReport {
+        name: grid.name.clone(),
+        grid: grid.clone(),
+        cells: outcomes
+            .iter()
+            .map(|o| CellReport {
+                index: o.cell.index as u64,
+                seed: o.cell.seed,
+                slo_s: o.cell.slo_s,
+                bandwidth_mbps: o.cell.bandwidth_mbps,
+                sigma_multiplier: o.cell.sigma_multiplier,
+                workload: o.cell.workload_index as u64,
+                metrics: o.report.summarize(),
+            })
+            .collect(),
+    }
+}
+
+/// Runs every cell of `grid` and collects the [`BenchReport`] digest.
+/// See [`run_grid_full`] for the execution model.
+#[must_use]
+pub fn run_grid(grid: &SweepGrid, workers: usize) -> BenchReport {
+    bench_report(grid, &run_grid_full(grid, workers))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{TraceKind, WorkloadSpec};
+    use tangram_core::engine::PolicyKind;
+    use tangram_types::ids::SceneId;
+
+    fn micro_grid() -> SweepGrid {
+        let mut grid = SweepGrid::named("micro");
+        grid.policies = vec![PolicyKind::Tangram, PolicyKind::Elf];
+        grid.seeds = vec![7];
+        grid.slos_s = vec![1.0];
+        grid.bandwidths_mbps = vec![40.0];
+        grid.workloads = vec![WorkloadSpec::single(SceneId::new(1), 6, TraceKind::Proxy)];
+        grid
+    }
+
+    #[test]
+    fn runs_every_cell_in_order() {
+        let grid = micro_grid();
+        let report = run_grid(&grid, 2);
+        assert_eq!(report.cells.len(), grid.cell_count());
+        for (i, cell) in report.cells.iter().enumerate() {
+            assert_eq!(cell.index, i as u64);
+            assert!(cell.metrics.patches > 0, "cell {i} ran the engine");
+        }
+        let policies: Vec<&str> = report
+            .cells
+            .iter()
+            .map(|c| c.metrics.policy.as_str())
+            .collect();
+        assert_eq!(policies, ["Tangram", "ELF"]);
+    }
+
+    #[test]
+    fn parallel_report_matches_sequential_bytes() {
+        let grid = micro_grid();
+        let sequential = run_grid(&grid, 1);
+        let parallel = run_grid(&grid, 4);
+        assert_eq!(sequential.to_json(), parallel.to_json());
+    }
+}

@@ -60,9 +60,22 @@ impl DetRng {
     /// Derives an independent stream for an indexed entity (e.g. camera N).
     #[must_use]
     pub fn fork_indexed(&self, label: &str, index: u64) -> DetRng {
-        DetRng::new(splitmix64(
-            self.seed ^ fnv1a(label.as_bytes()) ^ splitmix64(index.wrapping_add(0x9e37)),
-        ))
+        DetRng::new(self.derive_seed(label, index))
+    }
+
+    /// Derives the seed [`DetRng::fork_indexed`] would use, without
+    /// constructing the stream.
+    ///
+    /// This is the hand-off point for components that carry a bare `u64`
+    /// seed across a thread or config boundary — e.g. the experiment
+    /// harness stamping each sweep cell's `EngineConfig::seed` — while
+    /// staying on the same labelled-fork discipline as everything else.
+    /// Results are independent of *when* or *where* the derived seed is
+    /// consumed, which is what makes a parallel sweep bit-identical to a
+    /// sequential one.
+    #[must_use]
+    pub fn derive_seed(&self, label: &str, index: u64) -> u64 {
+        splitmix64(self.seed ^ fnv1a(label.as_bytes()) ^ splitmix64(index.wrapping_add(0x9e37)))
     }
 
     /// Uniform draw in `[0, 1)`.
@@ -206,6 +219,21 @@ mod tests {
         let s0 = root.fork_indexed("camera", 0).seed();
         let s1 = root.fork_indexed("camera", 1).seed();
         assert_ne!(s0, s1);
+    }
+
+    #[test]
+    fn derive_seed_matches_fork_indexed() {
+        let root = DetRng::new(5);
+        assert_eq!(
+            root.derive_seed("cell", 3),
+            root.fork_indexed("cell", 3).seed()
+        );
+        assert_ne!(root.derive_seed("cell", 3), root.derive_seed("cell", 4));
+        assert_ne!(
+            root.derive_seed("cell", 3),
+            root.derive_seed("trace", 3),
+            "labels decorrelate streams"
+        );
     }
 
     #[test]

@@ -1,0 +1,58 @@
+//! Workspace-level guarantees of the experiment harness: a parallel
+//! sweep is bit-for-bit identical to a sequential one, and the
+//! `BENCH_*.json` schema round-trips losslessly.
+
+use tangram_core::engine::PolicyKind;
+use tangram_harness::{run_grid, BenchReport, SweepGrid, TraceKind, WorkloadSpec};
+use tangram_types::ids::SceneId;
+
+/// A two-axis grid (policy × bandwidth) over one small proxy workload —
+/// big enough to exercise batching, small enough for a debug-build test.
+fn two_axis_grid() -> SweepGrid {
+    let mut grid = SweepGrid::named("determinism");
+    grid.policies = vec![PolicyKind::Tangram, PolicyKind::Clipper];
+    grid.seeds = vec![42];
+    grid.slos_s = vec![1.0];
+    grid.bandwidths_mbps = vec![20.0, 40.0];
+    grid.workloads = vec![WorkloadSpec::single(SceneId::new(1), 8, TraceKind::Proxy)];
+    grid
+}
+
+#[test]
+fn one_worker_and_many_workers_agree_exactly() {
+    let grid = two_axis_grid();
+    let sequential = run_grid(&grid, 1);
+    let parallel = run_grid(&grid, 4);
+    // Structural equality…
+    assert_eq!(sequential, parallel);
+    // …and byte equality of the serialized artifact, which is what the
+    // CI gate ultimately compares.
+    assert_eq!(sequential.to_json(), parallel.to_json());
+}
+
+#[test]
+fn report_json_round_trips() {
+    let grid = two_axis_grid();
+    let report = run_grid(&grid, 2);
+    assert_eq!(report.cells.len(), grid.cell_count());
+
+    let text = report.to_json();
+    let parsed = BenchReport::from_json(&text).expect("valid BENCH json");
+    // Cells (metrics included) survive exactly.
+    assert_eq!(parsed.cells, report.cells);
+    assert_eq!(parsed.name, report.name);
+    // The grid echo keeps every axis.
+    assert_eq!(parsed.grid.policies, report.grid.policies);
+    assert_eq!(parsed.grid.bandwidths_mbps, report.grid.bandwidths_mbps);
+    assert_eq!(parsed.grid.workloads, report.grid.workloads);
+    // Serialisation is a fixed point: render(parse(x)) == x.
+    assert_eq!(parsed.to_json(), text);
+}
+
+#[test]
+fn reruns_are_reproducible() {
+    let grid = two_axis_grid();
+    let first = run_grid(&grid, 3);
+    let second = run_grid(&grid, 2);
+    assert_eq!(first.to_json(), second.to_json());
+}

@@ -1,23 +1,221 @@
 //! Offline stand-in for the subset of `crossbeam` this workspace uses.
 //!
-//! Only `channel::{unbounded, Sender, Receiver, RecvTimeoutError}` is
-//! needed (single-producer hand-off into the live runtime's worker
-//! thread), and `std::sync::mpsc` provides an API-compatible
-//! implementation of exactly that subset. MPMC features of the real
-//! crossbeam (cloneable receivers, `select!`) are not provided.
+//! `channel` is a genuine MPMC channel (Condvar-based, unbounded): both
+//! [`channel::Sender`] and [`channel::Receiver`] are cloneable, so it
+//! serves the live runtime's single-consumer hand-off *and* the
+//! experiment harness's shared work queue, where N workers pull sweep
+//! cells from one receiver. `select!` and bounded channels are not
+//! provided.
 
 pub mod channel {
-    pub use std::sync::mpsc::{Receiver, RecvTimeoutError, SendError, Sender};
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Errors returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline passed with the channel still empty.
+        Timeout,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    /// Errors returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    /// The sending half; cloneable (multi-producer).
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half; cloneable (multi-consumer).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
 
     /// Creates an unbounded FIFO channel.
+    #[must_use]
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        std::sync::mpsc::channel()
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a value, failing only if every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            if state.receivers == 0 {
+                return Err(SendError(value));
+            }
+            state.queue.push_back(value);
+            drop(state);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().expect("channel poisoned").senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives or every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.shared.ready.wait(state).expect("channel poisoned");
+            }
+        }
+
+        /// Blocks up to `timeout` for a value.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (next, result) = self
+                    .shared
+                    .ready
+                    .wait_timeout(state, remaining)
+                    .expect("channel poisoned");
+                state = next;
+                if result.timed_out() && state.queue.is_empty() {
+                    return if state.senders == 0 {
+                        Err(RecvTimeoutError::Disconnected)
+                    } else {
+                        Err(RecvTimeoutError::Timeout)
+                    };
+                }
+            }
+        }
+
+        /// Pops a value if one is queued right now.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            if let Some(value) = state.queue.pop_front() {
+                return Ok(value);
+            }
+            if state.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+
+        /// Number of values currently queued.
+        #[must_use]
+        pub fn len(&self) -> usize {
+            self.shared
+                .state
+                .lock()
+                .expect("channel poisoned")
+                .queue
+                .len()
+        }
+
+        /// Whether the queue is currently empty.
+        #[must_use]
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared
+                .state
+                .lock()
+                .expect("channel poisoned")
+                .receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared
+                .state
+                .lock()
+                .expect("channel poisoned")
+                .receivers -= 1;
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::channel::{unbounded, RecvTimeoutError};
+    use super::channel::{unbounded, RecvTimeoutError, TryRecvError};
     use std::time::Duration;
 
     #[test]
@@ -34,5 +232,62 @@ mod tests {
             rx.recv_timeout(Duration::from_millis(5)),
             Err(RecvTimeoutError::Disconnected)
         );
+    }
+
+    #[test]
+    fn try_recv_reports_empty_then_disconnected() {
+        let (tx, rx) = unbounded::<u32>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(1).unwrap();
+        assert_eq!(rx.try_recv(), Ok(1));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_fails_once_all_receivers_dropped() {
+        let (tx, rx) = unbounded::<u32>();
+        let rx2 = rx.clone();
+        drop(rx);
+        drop(rx2);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn multiple_consumers_drain_disjointly() {
+        let (tx, rx) = unbounded::<usize>();
+        for i in 0..64 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Ok(v) = rx.recv() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut all: Vec<usize> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fifo_order_with_single_consumer() {
+        let (tx, rx) = unbounded::<u32>();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
     }
 }
