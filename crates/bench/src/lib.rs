@@ -5,6 +5,18 @@
 //! [`tangram_harness`] (re-exported here); this library keeps only the
 //! accuracy-pipeline helpers that turn extractor output into
 //! [`tangram_infer::accuracy::PresentedObject`]s.
+//!
+//! # Example
+//!
+//! ```
+//! use tangram_bench::covered_fraction;
+//! use tangram_types::geometry::Rect;
+//!
+//! // Half of a 100×100 object lies inside the served region.
+//! let object = Rect::new(0, 0, 100, 100);
+//! let covered = covered_fraction(&object, &[Rect::new(0, 0, 50, 100)]);
+//! assert!((covered - 0.5).abs() < 1e-9);
+//! ```
 
 pub use tangram_harness::{ExpOpts, TextTable};
 

@@ -1,4 +1,4 @@
-//! The end-to-end discrete-event engine.
+//! The end-to-end engine configuration and batch entry point.
 //!
 //! Composition: cameras replay their traces (closed-loop paced by the
 //! shared uplink, like the paper's "bandwidth simulates the arrival speed
@@ -7,25 +7,27 @@
 //! platform executes, and every patch's end-to-end latency is checked
 //! against its SLO.
 //!
+//! Since the streaming refactor the loop itself lives in
+//! [`crate::online::OnlineEngine`]; [`EngineConfig::run`] is a thin
+//! wrapper that mounts one [`crate::online::TraceReplaySource`] per trace
+//! on that event loop, so batch replay and live streaming share one code
+//! path (and the replay output is byte-identical to the pre-refactor
+//! engine).
+//!
 //! The engine is identical for every policy — Fig. 12's differences come
 //! exclusively from batching decisions.
 
+use crate::online::{OnlineEngine, TraceReplaySource};
 use crate::policy::baselines::{ClipperPolicy, ElfPolicy, FramePerRequestPolicy, MarkPolicy};
-use crate::policy::{
-    Arrival, BatchSpec, BatchingPolicy, CompletionFeedback, FrameArrival, PolicyOutput,
-};
-use crate::report::{BatchRecord, PatchRecord, RunReport};
+use crate::policy::BatchingPolicy;
+use crate::report::RunReport;
 use crate::scheduler::{SchedulerConfig, TangramScheduler};
 use crate::workload::CameraTrace;
 use tangram_infer::estimator::LatencyEstimator;
 use tangram_infer::latency::InferenceLatencyModel;
-use tangram_net::{Link, LinkConfig};
 use tangram_serverless::function::FunctionSpec;
-use tangram_serverless::platform::{InvocationRequest, ServerlessPlatform};
 use tangram_serverless::pricing::ResourcePrices;
-use tangram_sim::event::EventQueue;
 use tangram_types::geometry::Size;
-use tangram_types::patch::{Patch, PatchInfo};
 use tangram_types::time::{SimDuration, SimTime};
 
 /// Which policy the engine runs.
@@ -122,20 +124,9 @@ impl Default for EngineConfig {
     }
 }
 
-enum Event {
-    /// Camera `cam` captures its next trace frame.
-    Capture { cam: usize },
-    /// A message reached the cloud.
-    Deliver { arrival: Arrival },
-    /// A policy wake-up.
-    Wake,
-    /// A batch finished executing (policy feedback).
-    Complete { feedback: CompletionFeedback },
-}
-
 impl EngineConfig {
     /// Builds the policy instance for this configuration.
-    fn build_policy(&self) -> Box<dyn BatchingPolicy> {
+    pub(crate) fn build_policy(&self) -> Box<dyn BatchingPolicy> {
         let max_batch = self.function_spec.max_canvases().max(1);
         match self.policy {
             PolicyKind::Tangram => {
@@ -168,261 +159,26 @@ impl EngineConfig {
 
     /// Runs the engine over the given camera traces.
     ///
+    /// Trace replay is one event source of the streaming runtime: every
+    /// trace is mounted as a [`TraceReplaySource`] on an [`OnlineEngine`]
+    /// and the shared event loop does the rest.
+    ///
     /// # Panics
     ///
     /// Panics if `traces` is empty.
     #[must_use]
     pub fn run(&self, traces: &[CameraTrace]) -> RunReport {
         assert!(!traces.is_empty(), "need at least one camera trace");
-        let mut policy = self.build_policy();
-        let mut platform = ServerlessPlatform::new(
-            self.function_spec.clone(),
-            self.latency_model.clone(),
-            self.seed,
-        )
-        .with_prices(self.prices);
-        platform.max_instances = self.max_instances;
-        let mut link = Link::new(LinkConfig::mbps(self.bandwidth_mbps));
-        let mut events: EventQueue<Event> = EventQueue::new();
-        let frame_interval = SimDuration::from_secs_f64(1.0 / self.max_fps);
-
-        let mut cursors = vec![0usize; traces.len()];
-        let mut patch_records: Vec<PatchRecord> = Vec::new();
-        let mut batch_records: Vec<BatchRecord> = Vec::new();
-        let mut transmission_busy = SimDuration::ZERO;
-        let mut frames_injected = 0u64;
-        let mut last_event_time = SimTime::ZERO;
-
+        let mut engine = OnlineEngine::new(self);
         // Stagger camera starts slightly so multi-camera runs do not
         // synchronise artificially.
-        for cam in 0..traces.len() {
-            events.push(
+        for (cam, trace) in traces.iter().enumerate() {
+            engine.add_camera_at(
                 SimTime::from_micros(cam as u64 * 1_000),
-                Event::Capture { cam },
+                Box::new(TraceReplaySource::new(trace.clone())),
             );
         }
-
-        let dispatch = |now: SimTime,
-                        spec: BatchSpec,
-                        platform: &mut ServerlessPlatform,
-                        patch_records: &mut Vec<PatchRecord>,
-                        batch_records: &mut Vec<BatchRecord>,
-                        events: &mut EventQueue<Event>| {
-            if spec.patches.is_empty() {
-                return;
-            }
-            let max = platform.spec().max_canvases().max(1);
-            let request = InvocationRequest {
-                canvases: spec.inputs.min(max),
-                megapixels: spec.megapixels,
-                submitted: now,
-            };
-            let outcome = platform
-                .invoke(request)
-                .expect("batch sized within the GPU bound");
-            let mut violations = 0usize;
-            for p in &spec.patches {
-                let record = PatchRecord {
-                    patch: p.id,
-                    camera: p.camera,
-                    frame: p.frame,
-                    generated_at: p.generated_at,
-                    dispatched_at: now,
-                    finished_at: outcome.finished,
-                    slo: p.slo,
-                };
-                if record.violated() {
-                    violations += 1;
-                }
-                patch_records.push(record);
-            }
-            batch_records.push(BatchRecord {
-                dispatched_at: now,
-                inputs: spec.inputs,
-                patch_count: spec.patches.len(),
-                execution: outcome.execution,
-                cold: outcome.cold,
-                cost: outcome.cost,
-                efficiencies: spec.canvas_efficiencies,
-            });
-            events.push(
-                outcome.finished,
-                Event::Complete {
-                    feedback: CompletionFeedback {
-                        finished: outcome.finished,
-                        execution: outcome.execution,
-                        violations,
-                        inputs: spec.inputs,
-                    },
-                },
-            );
-        };
-
-        let handle_output = |now: SimTime,
-                             output: PolicyOutput,
-                             platform: &mut ServerlessPlatform,
-                             patch_records: &mut Vec<PatchRecord>,
-                             batch_records: &mut Vec<BatchRecord>,
-                             events: &mut EventQueue<Event>| {
-            for spec in output.dispatches {
-                dispatch(now, spec, platform, patch_records, batch_records, events);
-            }
-            if let Some(wake) = output.next_wake {
-                events.push(wake.max(now), Event::Wake);
-            }
-        };
-
-        while let Some((now, event)) = events.pop() {
-            last_event_time = last_event_time.max(now);
-            match event {
-                Event::Capture { cam } => {
-                    let trace = &traces[cam];
-                    let Some(frame) = trace.frames.get(cursors[cam]) else {
-                        continue;
-                    };
-                    cursors[cam] += 1;
-                    frames_injected += 1;
-                    let generated_at = now;
-                    let ready = now + self.edge_delay;
-
-                    if self.policy.patch_based() {
-                        let elf = self.policy == PolicyKind::Elf;
-                        for (i, patch) in frame.patches.iter().enumerate() {
-                            let bytes = if elf {
-                                frame.elf_patch_bytes[i]
-                            } else {
-                                patch.encoded_size
-                            };
-                            let info = PatchInfo {
-                                generated_at,
-                                slo: self.slo,
-                                ..patch.info
-                            };
-                            let delivered = link.enqueue(ready, bytes);
-                            transmission_busy += link.config().bandwidth.transmission_time(bytes);
-                            events.push(
-                                delivered,
-                                Event::Deliver {
-                                    arrival: Arrival::Patch(Patch::new(info, bytes)),
-                                },
-                            );
-                        }
-                    } else {
-                        let masked = self.policy == PolicyKind::MaskedFrame;
-                        let bytes = if masked {
-                            frame.masked_frame_bytes
-                        } else {
-                            frame.full_frame_bytes
-                        };
-                        let mpx = if masked {
-                            frame.masked_megapixels
-                        } else {
-                            frame.full_megapixels
-                        };
-                        // The frame travels as one oversized "patch".
-                        let base = frame.patches.first().map_or_else(
-                            || PatchInfo {
-                                id: tangram_types::ids::PatchId::new(
-                                    (u64::from(trace.camera.raw()) << 40)
-                                        | (1 << 39)
-                                        | frame.frame.raw(),
-                                ),
-                                camera: trace.camera,
-                                frame: frame.frame,
-                                rect: tangram_types::geometry::Rect::from_size(Size::UHD_4K),
-                                generated_at,
-                                slo: self.slo,
-                            },
-                            |p| PatchInfo {
-                                id: tangram_types::ids::PatchId::new(p.info.id.raw() | (1 << 39)),
-                                rect: tangram_types::geometry::Rect::from_size(Size::UHD_4K),
-                                generated_at,
-                                slo: self.slo,
-                                ..p.info
-                            },
-                        );
-                        let delivered = link.enqueue(ready, bytes);
-                        transmission_busy += link.config().bandwidth.transmission_time(bytes);
-                        events.push(
-                            delivered,
-                            Event::Deliver {
-                                arrival: Arrival::Frame(FrameArrival {
-                                    info: base,
-                                    effective_megapixels: mpx,
-                                }),
-                            },
-                        );
-                    }
-
-                    // Closed-loop pacing: next capture when both the frame
-                    // interval elapsed and the wire drained this upload.
-                    let next = (now + frame_interval).max(link.busy_until());
-                    if cursors[cam] < trace.frames.len() {
-                        events.push(next, Event::Capture { cam });
-                    }
-                }
-                Event::Deliver { arrival } => {
-                    let output = policy.on_arrival(now, arrival);
-                    handle_output(
-                        now,
-                        output,
-                        &mut platform,
-                        &mut patch_records,
-                        &mut batch_records,
-                        &mut events,
-                    );
-                }
-                Event::Wake => {
-                    let output = policy.on_tick(now);
-                    handle_output(
-                        now,
-                        output,
-                        &mut platform,
-                        &mut patch_records,
-                        &mut batch_records,
-                        &mut events,
-                    );
-                }
-                Event::Complete { feedback } => {
-                    let output = policy.on_completion(now, feedback);
-                    handle_output(
-                        now,
-                        output,
-                        &mut platform,
-                        &mut patch_records,
-                        &mut batch_records,
-                        &mut events,
-                    );
-                }
-            }
-        }
-
-        // End of stream: flush whatever is still queued.
-        let output = policy.flush(last_event_time);
-        for spec in output.dispatches {
-            dispatch(
-                last_event_time,
-                spec,
-                &mut platform,
-                &mut patch_records,
-                &mut batch_records,
-                &mut events,
-            );
-        }
-        while let Some((now, _)) = events.pop() {
-            last_event_time = last_event_time.max(now);
-        }
-
-        RunReport {
-            policy: self.policy.name().to_string(),
-            patches: patch_records,
-            batches: batch_records,
-            link: link.stats(),
-            platform: platform.stats(),
-            frames: frames_injected,
-            transmission_busy,
-            makespan: last_event_time.since(SimTime::ZERO),
-        }
+        engine.run()
     }
 }
 

@@ -14,10 +14,17 @@
 //!   batch sizing) and MArk (batch size + timeout);
 //! * [`workload`] — per-camera traces built from the synthetic scenes and
 //!   an RoI extractor, replayed identically across policies;
-//! * [`engine`] — the discrete-event end-to-end engine: cameras → edge
-//!   partitioning → uplink → scheduler → serverless platform, producing a
-//!   [`report::RunReport`] with per-patch latencies, per-batch records,
-//!   cost, bandwidth, and SLO-violation accounting;
+//! * [`online`] — the event-driven streaming runtime: camera sources are
+//!   generators ([`online::ArrivalProcess`]: Poisson / bursty / diurnal)
+//!   rather than fixed trace slices, cameras join and leave mid-run,
+//!   tenants carry per-class SLOs, and an admission-control hook can shed
+//!   load at the ingress;
+//! * [`engine`] — the batch entry point ([`engine::EngineConfig::run`]):
+//!   cameras → edge partitioning → uplink → scheduler → serverless
+//!   platform, producing a [`report::RunReport`] with per-patch
+//!   latencies, per-batch records, cost, bandwidth, and SLO-violation
+//!   accounting. Trace replay is just one event source of the [`online`]
+//!   loop;
 //! * [`runtime`] — a live, threaded runtime exposing the paper's
 //!   `receive_patch` / `invoke` API for real-time (non-simulated) use.
 //!
@@ -43,6 +50,7 @@
 //! ```
 
 pub mod engine;
+pub mod online;
 pub mod policy;
 pub mod report;
 pub mod runtime;
@@ -50,6 +58,10 @@ pub mod scheduler;
 pub mod workload;
 
 pub use engine::{EngineConfig, PolicyKind};
+pub use online::{
+    Admission, ArrivalProcess, CameraSource, GeneratedSource, OnlineEngine, StreamEvent,
+    TenantClass, TraceReplaySource,
+};
 pub use policy::{Arrival, BatchSpec, BatchingPolicy, PolicyOutput};
 pub use report::RunReport;
 pub use scheduler::{SchedulerConfig, TangramScheduler};

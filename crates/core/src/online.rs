@@ -1,0 +1,814 @@
+//! The event-driven streaming engine.
+//!
+//! [`crate::engine::EngineConfig::run`] replays pre-materialised traces —
+//! a closed world. Real deployments are open: patches arrive continuously
+//! from many cameras, cameras join and leave mid-run, tenants carry
+//! different SLOs, and the operator may shed load at the ingress. This
+//! module is that open world, built on the same deterministic substrate:
+//!
+//! * [`StreamEvent`] — the event alphabet of the runtime: camera churn
+//!   ([`StreamEvent::CameraJoin`] / [`StreamEvent::CameraLeave`]),
+//!   captures, patch arrivals at the cloud, policy wake-ups
+//!   ([`StreamEvent::InvokeTimer`]) and serverless completions
+//!   ([`StreamEvent::FunctionComplete`]), all driven by a
+//!   [`tangram_sim::driver::EventLoop`];
+//! * [`CameraSource`] — cameras are *generators*, not trace slices:
+//!   [`TraceReplaySource`] reproduces the legacy closed-loop replay
+//!   byte-for-byte, while [`GeneratedSource`] emits frames under a
+//!   seeded [`ArrivalProcess`] (Poisson, Markov-modulated bursts, or a
+//!   diurnal rate curve) with a per-tenant SLO class;
+//! * [`OnlineEngine`] — the loop itself: captures feed the shared uplink,
+//!   arrivals feed the batching policy (after the optional
+//!   admission-control hook), dispatches are [`ServerlessPlatform::submit`]ted
+//!   and their completions delivered back as events.
+//!
+//! The legacy batch entry point is a thin wrapper: it adds one
+//! [`TraceReplaySource`] per trace and runs the same loop, so the 424
+//! pre-existing tests and every figure baseline hold bit-for-bit.
+
+use crate::engine::EngineConfig;
+use crate::policy::{Arrival, BatchSpec, BatchingPolicy, CompletionFeedback, FrameArrival};
+use crate::report::{BatchRecord, PatchRecord, RunReport};
+use crate::workload::{CameraTrace, TraceFrame};
+use tangram_net::{Link, LinkConfig};
+use tangram_serverless::platform::{InvocationRequest, ServerlessPlatform};
+use tangram_sim::driver::EventLoop;
+use tangram_sim::rng::DetRng;
+use tangram_types::geometry::Size;
+use tangram_types::ids::{CameraId, InvocationId, PatchId};
+use tangram_types::patch::{Patch, PatchInfo};
+use tangram_types::time::{SimDuration, SimTime};
+
+/// The event alphabet of the streaming runtime.
+#[derive(Debug)]
+pub enum StreamEvent {
+    /// Camera `cam` comes online and captures its first frame.
+    CameraJoin {
+        /// Index into the engine's camera table.
+        cam: usize,
+    },
+    /// Camera `cam` goes offline; pending captures are cancelled.
+    CameraLeave {
+        /// Index into the engine's camera table.
+        cam: usize,
+    },
+    /// Camera `cam` captures its next frame.
+    Capture {
+        /// Index into the engine's camera table.
+        cam: usize,
+    },
+    /// A work item reached the cloud scheduler.
+    PatchArrival {
+        /// The delivered patch or frame.
+        arrival: Arrival,
+    },
+    /// A policy wake-up (the scheduler's armed `t_remain`).
+    InvokeTimer,
+    /// A previously submitted serverless invocation finished.
+    FunctionComplete {
+        /// The platform's invocation id, acknowledged on delivery.
+        id: InvocationId,
+        /// Feedback handed to the policy.
+        feedback: CompletionFeedback,
+    },
+}
+
+/// Verdict of the admission-control hook.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Hand the work item to the batching policy.
+    Accept,
+    /// Shed it at the ingress (counted in
+    /// [`RunReport::dropped_arrivals`]).
+    Drop,
+}
+
+/// Admission-control hook, consulted for every work item that reaches the
+/// cloud scheduler. The default (no hook) accepts everything.
+pub type AdmissionFn = dyn FnMut(SimTime, &Arrival) -> Admission;
+
+/// A per-tenant service class: the SLO stamped on every patch the
+/// tenant's cameras produce.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantClass {
+    /// Display name ("gold", "best-effort", …).
+    pub name: String,
+    /// The tenant's end-to-end deadline.
+    pub slo: SimDuration,
+}
+
+impl TenantClass {
+    /// A tenant class with the given name and SLO.
+    #[must_use]
+    pub fn new(name: &str, slo: SimDuration) -> Self {
+        Self {
+            name: name.to_string(),
+            slo,
+        }
+    }
+}
+
+/// A camera as the engine sees it: a generator of edge output.
+pub trait CameraSource {
+    /// The camera's identity (stamped on its patches).
+    fn camera(&self) -> CameraId;
+
+    /// The next frame of edge output, or `None` when the stream ends.
+    fn next_frame(&mut self) -> Option<TraceFrame>;
+
+    /// Whether the stream has no further frames (consulted after
+    /// [`CameraSource::next_frame`] to decide if another capture is
+    /// scheduled).
+    fn is_exhausted(&self) -> bool;
+
+    /// When the camera captures again after a frame taken at `now`.
+    ///
+    /// `frame_interval` is the engine-configured capture period and
+    /// `uplink_free` the instant the shared uplink drains this frame's
+    /// upload — closed-loop sources wait for both, open-loop sources
+    /// ignore the link.
+    fn next_capture(
+        &mut self,
+        now: SimTime,
+        frame_interval: SimDuration,
+        uplink_free: SimTime,
+    ) -> SimTime;
+
+    /// Per-tenant SLO override (`None` → the engine default).
+    fn slo(&self) -> Option<SimDuration> {
+        None
+    }
+}
+
+/// Replays a pre-built [`CameraTrace`] with the legacy closed-loop
+/// pacing: the next capture waits for both the frame interval and the
+/// shared uplink ("bandwidth simulates the arrival speed of patches").
+#[derive(Debug, Clone)]
+pub struct TraceReplaySource {
+    trace: CameraTrace,
+    cursor: usize,
+}
+
+impl TraceReplaySource {
+    /// Wraps a trace for replay.
+    #[must_use]
+    pub fn new(trace: CameraTrace) -> Self {
+        Self { trace, cursor: 0 }
+    }
+}
+
+impl CameraSource for TraceReplaySource {
+    fn camera(&self) -> CameraId {
+        self.trace.camera
+    }
+
+    fn next_frame(&mut self) -> Option<TraceFrame> {
+        let frame = self.trace.frames.get(self.cursor).cloned()?;
+        self.cursor += 1;
+        Some(frame)
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.cursor >= self.trace.frames.len()
+    }
+
+    fn next_capture(
+        &mut self,
+        now: SimTime,
+        frame_interval: SimDuration,
+        uplink_free: SimTime,
+    ) -> SimTime {
+        (now + frame_interval).max(uplink_free)
+    }
+}
+
+/// How a generated camera paces its captures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Fixed-rate capture gated on the uplink — the trace-replay pacing.
+    ClosedLoop,
+    /// Open-loop Poisson arrivals at mean `fps` frames per second.
+    Poisson {
+        /// Mean frame rate.
+        fps: f64,
+    },
+    /// Markov-modulated on/off process: exponential dwell times in a calm
+    /// and a burst state, each with its own Poisson rate.
+    Bursty {
+        /// Frame rate in the calm state.
+        calm_fps: f64,
+        /// Frame rate in the burst state.
+        burst_fps: f64,
+        /// Mean dwell time in the calm state, seconds.
+        mean_calm_s: f64,
+        /// Mean dwell time in the burst state, seconds.
+        mean_burst_s: f64,
+    },
+    /// Sinusoidal day/night rate curve: the instantaneous Poisson rate
+    /// swings between `min_fps` and `max_fps` over `period_s`.
+    Diurnal {
+        /// Trough frame rate.
+        min_fps: f64,
+        /// Peak frame rate.
+        max_fps: f64,
+        /// Full day length, seconds.
+        period_s: f64,
+    },
+}
+
+/// Floor applied to sampled rates so the exponential draw stays defined.
+const MIN_RATE: f64 = 1e-6;
+
+/// A generated camera: cycles the frames of a pre-built content pool
+/// under a seeded [`ArrivalProcess`], re-stamping frame and patch ids so
+/// cycled content stays unique. The generator is exhausted after
+/// `budget` frames (churny runs usually cut it short with a
+/// [`StreamEvent::CameraLeave`] instead).
+#[derive(Debug, Clone)]
+pub struct GeneratedSource {
+    camera: CameraId,
+    pool: Vec<TraceFrame>,
+    emitted: usize,
+    budget: usize,
+    process: ArrivalProcess,
+    rng: DetRng,
+    slo: Option<SimDuration>,
+    in_burst: bool,
+    state_until: SimTime,
+    next_patch: u64,
+}
+
+impl GeneratedSource {
+    /// Builds a generator over `trace`'s frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace has no frames.
+    #[must_use]
+    pub fn new(trace: &CameraTrace, budget: usize, process: ArrivalProcess, rng: DetRng) -> Self {
+        assert!(
+            !trace.frames.is_empty(),
+            "generated source needs a non-empty content pool"
+        );
+        Self {
+            camera: trace.camera,
+            pool: trace.frames.clone(),
+            emitted: 0,
+            budget,
+            process,
+            rng,
+            slo: None,
+            // Start in the "burst" state with an expired dwell so the
+            // first capture flips to calm and samples a fresh dwell time.
+            in_burst: true,
+            state_until: SimTime::ZERO,
+            next_patch: 0,
+        }
+    }
+
+    /// Stamps this camera's patches with a tenant SLO class.
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: &TenantClass) -> Self {
+        self.slo = Some(tenant.slo);
+        self
+    }
+
+    fn gap(&mut self, rate: f64) -> SimDuration {
+        SimDuration::from_secs_f64(self.rng.exponential(rate.max(MIN_RATE)))
+    }
+}
+
+impl CameraSource for GeneratedSource {
+    fn camera(&self) -> CameraId {
+        self.camera
+    }
+
+    fn next_frame(&mut self) -> Option<TraceFrame> {
+        if self.emitted >= self.budget {
+            return None;
+        }
+        let mut frame = self.pool[self.emitted % self.pool.len()].clone();
+        frame.frame = tangram_types::ids::FrameId::new(self.emitted as u64);
+        for patch in &mut frame.patches {
+            // Bit 38 marks generated ids, keeping them disjoint from the
+            // partition pipeline's (camera << 40 | counter) scheme and
+            // the engine's full-frame (1 << 39) scheme.
+            patch.info.id =
+                PatchId::new((u64::from(self.camera.raw()) << 40) | (1 << 38) | self.next_patch);
+            patch.info.camera = self.camera;
+            patch.info.frame = frame.frame;
+            self.next_patch += 1;
+        }
+        self.emitted += 1;
+        Some(frame)
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.emitted >= self.budget
+    }
+
+    fn next_capture(
+        &mut self,
+        now: SimTime,
+        frame_interval: SimDuration,
+        uplink_free: SimTime,
+    ) -> SimTime {
+        match self.process {
+            ArrivalProcess::ClosedLoop => (now + frame_interval).max(uplink_free),
+            ArrivalProcess::Poisson { fps } => now + self.gap(fps),
+            ArrivalProcess::Bursty {
+                calm_fps,
+                burst_fps,
+                mean_calm_s,
+                mean_burst_s,
+            } => {
+                if now >= self.state_until {
+                    self.in_burst = !self.in_burst;
+                    let dwell = if self.in_burst {
+                        mean_burst_s
+                    } else {
+                        mean_calm_s
+                    };
+                    let dwell_gap = self.gap(1.0 / dwell.max(MIN_RATE));
+                    self.state_until = now + dwell_gap;
+                }
+                let fps = if self.in_burst { burst_fps } else { calm_fps };
+                now + self.gap(fps)
+            }
+            ArrivalProcess::Diurnal {
+                min_fps,
+                max_fps,
+                period_s,
+            } => {
+                let phase = now.since(SimTime::ZERO).as_secs_f64() / period_s.max(MIN_RATE);
+                let swing = 0.5 * (1.0 - (std::f64::consts::TAU * phase).cos());
+                let rate = min_fps + (max_fps - min_fps) * swing;
+                now + self.gap(rate)
+            }
+        }
+    }
+
+    fn slo(&self) -> Option<SimDuration> {
+        self.slo
+    }
+}
+
+struct CameraSlot {
+    source: Box<dyn CameraSource>,
+    active: bool,
+}
+
+/// The event-driven streaming engine: an [`EventLoop`] over
+/// [`StreamEvent`]s wiring camera sources, the shared uplink, a batching
+/// policy, admission control and the serverless platform together.
+pub struct OnlineEngine {
+    config: EngineConfig,
+    policy: Box<dyn BatchingPolicy>,
+    platform: ServerlessPlatform,
+    link: Link,
+    events: EventLoop<StreamEvent>,
+    cameras: Vec<CameraSlot>,
+    admission: Option<Box<AdmissionFn>>,
+    frame_interval: SimDuration,
+    patch_records: Vec<PatchRecord>,
+    batch_records: Vec<BatchRecord>,
+    transmission_busy: SimDuration,
+    frames_injected: u64,
+    dropped_arrivals: u64,
+}
+
+impl OnlineEngine {
+    /// Builds an engine with no cameras; add sources with
+    /// [`OnlineEngine::add_camera_at`], then call [`OnlineEngine::run`].
+    #[must_use]
+    pub fn new(config: &EngineConfig) -> Self {
+        let policy = config.build_policy();
+        let mut platform = ServerlessPlatform::new(
+            config.function_spec.clone(),
+            config.latency_model.clone(),
+            config.seed,
+        )
+        .with_prices(config.prices);
+        platform.max_instances = config.max_instances;
+        Self {
+            policy,
+            platform,
+            link: Link::new(LinkConfig::mbps(config.bandwidth_mbps)),
+            events: EventLoop::new(),
+            cameras: Vec::new(),
+            admission: None,
+            frame_interval: SimDuration::from_secs_f64(1.0 / config.max_fps),
+            patch_records: Vec::new(),
+            batch_records: Vec::new(),
+            transmission_busy: SimDuration::ZERO,
+            frames_injected: 0,
+            dropped_arrivals: 0,
+            config: config.clone(),
+        }
+    }
+
+    /// Registers a camera that joins the stream at `at`, returning its
+    /// index (usable with [`OnlineEngine::remove_camera_at`]).
+    pub fn add_camera_at(&mut self, at: SimTime, source: Box<dyn CameraSource>) -> usize {
+        let cam = self.cameras.len();
+        self.cameras.push(CameraSlot {
+            source,
+            active: false,
+        });
+        self.events.schedule(at, StreamEvent::CameraJoin { cam });
+        cam
+    }
+
+    /// Schedules camera `cam` to leave the stream at `at`; frames it
+    /// would have captured afterwards are never produced.
+    pub fn remove_camera_at(&mut self, at: SimTime, cam: usize) {
+        self.events.schedule(at, StreamEvent::CameraLeave { cam });
+    }
+
+    /// Installs the admission-control hook.
+    pub fn set_admission(&mut self, hook: Box<AdmissionFn>) {
+        self.admission = Some(hook);
+    }
+
+    /// Drives the event loop to quiescence and reports the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no cameras were added.
+    #[must_use]
+    pub fn run(mut self) -> RunReport {
+        assert!(!self.cameras.is_empty(), "need at least one camera source");
+        while let Some((now, event)) = self.events.step() {
+            self.handle(now, event);
+        }
+        // End of stream: flush whatever the policy still holds.
+        let now = self.events.now();
+        let output = self.policy.flush(now);
+        for spec in output.dispatches {
+            self.dispatch(now, spec);
+        }
+        while let Some((_, event)) = self.events.step() {
+            if let StreamEvent::FunctionComplete { id, .. } = event {
+                self.platform.complete(id);
+            }
+        }
+        RunReport {
+            policy: self.config.policy.name().to_string(),
+            patches: self.patch_records,
+            batches: self.batch_records,
+            link: self.link.stats(),
+            platform: self.platform.stats(),
+            frames: self.frames_injected,
+            dropped_arrivals: self.dropped_arrivals,
+            transmission_busy: self.transmission_busy,
+            makespan: self.events.now().since(SimTime::ZERO),
+        }
+    }
+
+    fn handle(&mut self, now: SimTime, event: StreamEvent) {
+        match event {
+            StreamEvent::CameraJoin { cam } => {
+                self.cameras[cam].active = true;
+                self.capture(now, cam);
+            }
+            StreamEvent::CameraLeave { cam } => {
+                self.cameras[cam].active = false;
+            }
+            StreamEvent::Capture { cam } => {
+                if self.cameras[cam].active {
+                    self.capture(now, cam);
+                }
+            }
+            StreamEvent::PatchArrival { arrival } => {
+                if let Some(hook) = self.admission.as_mut() {
+                    if hook(now, &arrival) == Admission::Drop {
+                        self.dropped_arrivals += 1;
+                        return;
+                    }
+                }
+                let output = self.policy.on_arrival(now, arrival);
+                self.apply(now, output.dispatches, output.next_wake);
+            }
+            StreamEvent::InvokeTimer => {
+                let output = self.policy.on_tick(now);
+                self.apply(now, output.dispatches, output.next_wake);
+            }
+            StreamEvent::FunctionComplete { id, feedback } => {
+                self.platform.complete(id);
+                let output = self.policy.on_completion(now, feedback);
+                self.apply(now, output.dispatches, output.next_wake);
+            }
+        }
+    }
+
+    fn capture(&mut self, now: SimTime, cam: usize) {
+        let Some(frame) = self.cameras[cam].source.next_frame() else {
+            self.cameras[cam].active = false;
+            return;
+        };
+        self.frames_injected += 1;
+        let camera_id = self.cameras[cam].source.camera();
+        let slo = self.cameras[cam].source.slo().unwrap_or(self.config.slo);
+        let generated_at = now;
+        let ready = now + self.config.edge_delay;
+
+        if self.config.policy.patch_based() {
+            let elf = self.config.policy == crate::engine::PolicyKind::Elf;
+            for (i, patch) in frame.patches.iter().enumerate() {
+                let bytes = if elf {
+                    frame.elf_patch_bytes[i]
+                } else {
+                    patch.encoded_size
+                };
+                let info = PatchInfo {
+                    generated_at,
+                    slo,
+                    ..patch.info
+                };
+                let delivered = self.link.enqueue(ready, bytes);
+                self.transmission_busy += self.link.config().bandwidth.transmission_time(bytes);
+                self.events.schedule(
+                    delivered,
+                    StreamEvent::PatchArrival {
+                        arrival: Arrival::Patch(Patch::new(info, bytes)),
+                    },
+                );
+            }
+        } else {
+            let masked = self.config.policy == crate::engine::PolicyKind::MaskedFrame;
+            let bytes = if masked {
+                frame.masked_frame_bytes
+            } else {
+                frame.full_frame_bytes
+            };
+            let mpx = if masked {
+                frame.masked_megapixels
+            } else {
+                frame.full_megapixels
+            };
+            // The frame travels as one oversized "patch".
+            let base = frame.patches.first().map_or_else(
+                || PatchInfo {
+                    id: PatchId::new(
+                        (u64::from(camera_id.raw()) << 40) | (1 << 39) | frame.frame.raw(),
+                    ),
+                    camera: camera_id,
+                    frame: frame.frame,
+                    rect: tangram_types::geometry::Rect::from_size(Size::UHD_4K),
+                    generated_at,
+                    slo,
+                },
+                |p| PatchInfo {
+                    id: PatchId::new(p.info.id.raw() | (1 << 39)),
+                    rect: tangram_types::geometry::Rect::from_size(Size::UHD_4K),
+                    generated_at,
+                    slo,
+                    ..p.info
+                },
+            );
+            let delivered = self.link.enqueue(ready, bytes);
+            self.transmission_busy += self.link.config().bandwidth.transmission_time(bytes);
+            self.events.schedule(
+                delivered,
+                StreamEvent::PatchArrival {
+                    arrival: Arrival::Frame(FrameArrival {
+                        info: base,
+                        effective_megapixels: mpx,
+                    }),
+                },
+            );
+        }
+
+        let uplink_free = self.link.busy_until();
+        let next = self.cameras[cam]
+            .source
+            .next_capture(now, self.frame_interval, uplink_free);
+        if !self.cameras[cam].source.is_exhausted() && self.cameras[cam].active {
+            self.events.schedule(next, StreamEvent::Capture { cam });
+        }
+    }
+
+    fn apply(&mut self, now: SimTime, dispatches: Vec<BatchSpec>, next_wake: Option<SimTime>) {
+        for spec in dispatches {
+            self.dispatch(now, spec);
+        }
+        if let Some(wake) = next_wake {
+            self.events
+                .schedule(wake.max(now), StreamEvent::InvokeTimer);
+        }
+    }
+
+    fn dispatch(&mut self, now: SimTime, spec: BatchSpec) {
+        if spec.patches.is_empty() {
+            return;
+        }
+        let max = self.platform.spec().max_canvases().max(1);
+        let request = InvocationRequest {
+            canvases: spec.inputs.min(max),
+            megapixels: spec.megapixels,
+            submitted: now,
+        };
+        let outcome = self
+            .platform
+            .submit(request)
+            .expect("batch sized within the GPU bound");
+        let mut violations = 0usize;
+        for p in &spec.patches {
+            let record = PatchRecord {
+                patch: p.id,
+                camera: p.camera,
+                frame: p.frame,
+                generated_at: p.generated_at,
+                dispatched_at: now,
+                finished_at: outcome.finished,
+                slo: p.slo,
+            };
+            if record.violated() {
+                violations += 1;
+            }
+            self.patch_records.push(record);
+        }
+        self.batch_records.push(BatchRecord {
+            dispatched_at: now,
+            inputs: spec.inputs,
+            patch_count: spec.patches.len(),
+            execution: outcome.execution,
+            cold: outcome.cold,
+            cost: outcome.cost,
+            efficiencies: spec.canvas_efficiencies,
+        });
+        self.events.schedule(
+            outcome.finished,
+            StreamEvent::FunctionComplete {
+                id: outcome.id,
+                feedback: CompletionFeedback {
+                    finished: outcome.finished,
+                    execution: outcome.execution,
+                    violations,
+                    inputs: spec.inputs,
+                },
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::PolicyKind;
+    use crate::workload::TraceConfig;
+    use tangram_types::ids::SceneId;
+
+    fn trace(scene: u8, frames: usize) -> CameraTrace {
+        TraceConfig::proxy_extractor(SceneId::new(scene), frames, 7).build()
+    }
+
+    fn config(policy: PolicyKind) -> EngineConfig {
+        EngineConfig {
+            policy,
+            seed: 7,
+            ..EngineConfig::default()
+        }
+    }
+
+    fn poisson_source(scene: u8, budget: usize, fps: f64, seed: u64) -> GeneratedSource {
+        GeneratedSource::new(
+            &trace(scene, 6),
+            budget,
+            ArrivalProcess::Poisson { fps },
+            DetRng::new(seed).fork_indexed("online-test", u64::from(scene)),
+        )
+    }
+
+    #[test]
+    fn replay_sources_match_the_batch_entry_point() {
+        let t = trace(1, 10);
+        let cfg = config(PolicyKind::Tangram);
+        let batch = cfg.run(std::slice::from_ref(&t));
+        let mut online = OnlineEngine::new(&cfg);
+        online.add_camera_at(SimTime::ZERO, Box::new(TraceReplaySource::new(t)));
+        let streamed = online.run();
+        assert_eq!(batch.summarize(), streamed.summarize());
+    }
+
+    #[test]
+    fn poisson_cameras_stream_patches() {
+        let mut engine = OnlineEngine::new(&config(PolicyKind::Tangram));
+        engine.add_camera_at(SimTime::ZERO, Box::new(poisson_source(1, 20, 8.0, 3)));
+        engine.add_camera_at(
+            SimTime::from_micros(500),
+            Box::new(poisson_source(2, 20, 8.0, 4)),
+        );
+        let report = engine.run();
+        assert_eq!(report.frames, 40);
+        assert!(report.patches_completed() > 40, "several patches per frame");
+        assert_eq!(report.dropped_arrivals, 0);
+        let cams: std::collections::HashSet<u32> =
+            report.patches.iter().map(|p| p.camera.raw()).collect();
+        assert_eq!(cams.len(), 2);
+    }
+
+    #[test]
+    fn generated_ids_stay_unique_across_cycles() {
+        // Budget far beyond the 6-frame pool: content cycles, ids must not.
+        let mut src = poisson_source(1, 30, 10.0, 5);
+        let mut seen = std::collections::HashSet::new();
+        while let Some(frame) = src.next_frame() {
+            for p in &frame.patches {
+                assert!(seen.insert(p.info.id), "duplicate patch id {:?}", p.info.id);
+            }
+        }
+        assert!(src.is_exhausted());
+    }
+
+    #[test]
+    fn camera_leave_truncates_the_stream() {
+        let cfg = config(PolicyKind::Tangram);
+        let mut full = OnlineEngine::new(&cfg);
+        full.add_camera_at(SimTime::ZERO, Box::new(poisson_source(1, 200, 10.0, 9)));
+        let full_report = full.run();
+
+        let mut churned = OnlineEngine::new(&cfg);
+        let cam = churned.add_camera_at(SimTime::ZERO, Box::new(poisson_source(1, 200, 10.0, 9)));
+        churned.remove_camera_at(SimTime::from_secs_f64(5.0), cam);
+        let churned_report = churned.run();
+
+        assert!(
+            churned_report.frames < full_report.frames,
+            "leave at 5 s must cut the 200-frame budget short ({} vs {})",
+            churned_report.frames,
+            full_report.frames
+        );
+        assert!(churned_report.frames > 0);
+    }
+
+    #[test]
+    fn admission_hook_sheds_load() {
+        let cfg = config(PolicyKind::Tangram);
+        let mut engine = OnlineEngine::new(&cfg);
+        engine.add_camera_at(SimTime::ZERO, Box::new(poisson_source(1, 10, 10.0, 11)));
+        engine.set_admission(Box::new(|_, _| Admission::Drop));
+        let report = engine.run();
+        assert_eq!(report.patches_completed(), 0);
+        assert!(report.dropped_arrivals > 0);
+        assert!(report.batches.is_empty());
+    }
+
+    #[test]
+    fn tenant_slo_classes_stamp_patches() {
+        let cfg = config(PolicyKind::Tangram);
+        let gold = TenantClass::new("gold", SimDuration::from_millis(600));
+        let best_effort = TenantClass::new("best-effort", SimDuration::from_secs(3));
+        let mut engine = OnlineEngine::new(&cfg);
+        engine.add_camera_at(
+            SimTime::ZERO,
+            Box::new(poisson_source(1, 8, 8.0, 13).with_tenant(&gold)),
+        );
+        engine.add_camera_at(
+            SimTime::from_micros(1000),
+            Box::new(poisson_source(2, 8, 8.0, 14).with_tenant(&best_effort)),
+        );
+        let report = engine.run();
+        let slos: std::collections::HashSet<u64> =
+            report.patches.iter().map(|p| p.slo.as_micros()).collect();
+        assert!(slos.contains(&600_000), "gold SLO stamped");
+        assert!(slos.contains(&3_000_000), "best-effort SLO stamped");
+    }
+
+    #[test]
+    fn bursty_and_diurnal_processes_are_deterministic() {
+        for process in [
+            ArrivalProcess::Bursty {
+                calm_fps: 2.0,
+                burst_fps: 20.0,
+                mean_calm_s: 2.0,
+                mean_burst_s: 0.5,
+            },
+            ArrivalProcess::Diurnal {
+                min_fps: 1.0,
+                max_fps: 12.0,
+                period_s: 30.0,
+            },
+        ] {
+            let run = |seed: u64| {
+                let mut engine = OnlineEngine::new(&config(PolicyKind::Tangram));
+                engine.add_camera_at(
+                    SimTime::ZERO,
+                    Box::new(GeneratedSource::new(
+                        &trace(1, 6),
+                        25,
+                        process,
+                        DetRng::new(seed).fork("bursty-diurnal"),
+                    )),
+                );
+                engine.run().summarize()
+            };
+            assert_eq!(run(5), run(5), "same seed, same digest");
+            assert_ne!(
+                run(5).makespan_s,
+                run(6).makespan_s,
+                "different seeds should move the arrival timeline"
+            );
+        }
+    }
+}

@@ -75,6 +75,9 @@ pub struct RunReport {
     pub platform: PlatformStats,
     /// Frames injected.
     pub frames: u64,
+    /// Work items shed by the streaming engine's admission-control hook
+    /// (always zero for trace replay without a hook).
+    pub dropped_arrivals: u64,
     /// Total wire time spent transmitting (Fig. 14c's breakdown).
     pub transmission_busy: SimDuration,
     /// Simulated makespan of the run.
@@ -348,6 +351,7 @@ mod tests {
             link: LinkStats::default(),
             platform: PlatformStats::default(),
             frames: 1,
+            dropped_arrivals: 0,
             transmission_busy: SimDuration::ZERO,
             makespan: SimDuration::from_secs(1),
         }

@@ -131,10 +131,7 @@ impl TangramScheduler {
     /// Timer fired (line 19: `t = t_remain`). Spurious ticks are ignored.
     pub fn on_timer(&mut self, now: SimTime) -> PolicyOutput {
         match self.invoke_by {
-            Some(t) if now >= t && !self.queue.is_empty() => {
-                let batch = self.take_batch();
-                PolicyOutput::dispatch(batch)
-            }
+            Some(t) if now >= t => self.flush_open_canvases(),
             _ => {
                 let mut out = PolicyOutput::idle();
                 out.next_wake = self.invoke_by;
@@ -145,6 +142,12 @@ impl TangramScheduler {
 
     /// Dispatches whatever is queued (end of stream).
     pub fn drain(&mut self) -> PolicyOutput {
+        self.flush_open_canvases()
+    }
+
+    /// Dispatches the open canvas set as one batch — the shared tail of
+    /// [`Self::on_timer`] and [`Self::drain`]. A no-op on an empty queue.
+    fn flush_open_canvases(&mut self) -> PolicyOutput {
         if self.queue.is_empty() {
             return PolicyOutput::idle();
         }
@@ -405,6 +408,20 @@ mod tests {
         assert_eq!(out.dispatches.len(), 1);
         assert_eq!(s.queue_len(), 0);
         assert!(s.drain().dispatches.is_empty(), "second drain is a no-op");
+    }
+
+    #[test]
+    fn flush_on_empty_queue_is_a_no_op() {
+        let mut s = scheduler();
+        let out = s.flush_open_canvases();
+        assert!(out.dispatches.is_empty());
+        assert_eq!(out.next_wake, None);
+        assert_eq!(s.queue_len(), 0);
+        assert!(s.invoke_by().is_none());
+        // A flush with work dispatches once; the next flush is empty again.
+        let _ = s.on_patch(t(0), patch(1, 200, 200, 0, 10_000));
+        assert_eq!(s.flush_open_canvases().dispatches.len(), 1);
+        assert!(s.flush_open_canvases().dispatches.is_empty());
     }
 
     #[test]

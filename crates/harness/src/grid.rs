@@ -18,6 +18,7 @@
 //!   varies.
 
 use tangram_core::engine::{EngineConfig, PolicyKind};
+use tangram_core::online::ArrivalProcess;
 use tangram_sim::rng::DetRng;
 use tangram_types::ids::SceneId;
 use tangram_types::time::SimDuration;
@@ -94,6 +95,100 @@ impl WorkloadSpec {
     }
 }
 
+/// How a streaming scenario's cameras pace their captures — the
+/// declarative face of [`ArrivalProcess`] (stable names for
+/// `BENCH_*.json`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalSpec {
+    /// Open-loop Poisson arrivals at mean `fps`.
+    Poisson {
+        /// Mean frame rate.
+        fps: f64,
+    },
+    /// Markov-modulated calm/burst process.
+    Bursty {
+        /// Frame rate in the calm state.
+        calm_fps: f64,
+        /// Frame rate in the burst state.
+        burst_fps: f64,
+        /// Mean dwell time in the calm state, seconds.
+        mean_calm_s: f64,
+        /// Mean dwell time in the burst state, seconds.
+        mean_burst_s: f64,
+    },
+    /// Sinusoidal day/night rate curve.
+    Diurnal {
+        /// Trough frame rate.
+        min_fps: f64,
+        /// Peak frame rate.
+        max_fps: f64,
+        /// Full day length, seconds.
+        period_s: f64,
+    },
+}
+
+impl ArrivalSpec {
+    /// The engine-side process this spec configures.
+    #[must_use]
+    pub fn process(self) -> ArrivalProcess {
+        match self {
+            ArrivalSpec::Poisson { fps } => ArrivalProcess::Poisson { fps },
+            ArrivalSpec::Bursty {
+                calm_fps,
+                burst_fps,
+                mean_calm_s,
+                mean_burst_s,
+            } => ArrivalProcess::Bursty {
+                calm_fps,
+                burst_fps,
+                mean_calm_s,
+                mean_burst_s,
+            },
+            ArrivalSpec::Diurnal {
+                min_fps,
+                max_fps,
+                period_s,
+            } => ArrivalProcess::Diurnal {
+                min_fps,
+                max_fps,
+                period_s,
+            },
+        }
+    }
+
+    /// Stable name used in `BENCH_*.json`.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ArrivalSpec::Poisson { .. } => "poisson",
+            ArrivalSpec::Bursty { .. } => "bursty",
+            ArrivalSpec::Diurnal { .. } => "diurnal",
+        }
+    }
+}
+
+/// A streaming scenario: runs every cell through the event-driven
+/// [`tangram_core::online::OnlineEngine`] instead of trace replay. The
+/// cell's workload traces become per-camera *content pools*; arrival
+/// timing, camera churn and tenant SLOs come from here.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Capture pacing for every camera.
+    pub arrival: ArrivalSpec,
+    /// Frames each camera emits before its stream ends (the content pool
+    /// cycles; churny runs usually cut sessions short instead).
+    pub frames_per_camera: usize,
+    /// Camera `i` joins the stream at `i * join_stagger_s` — together
+    /// with `session_s` this is the churn-rate axis.
+    pub join_stagger_s: f64,
+    /// Cameras leave this long after joining (`None` = stay until their
+    /// budget runs out).
+    pub session_s: Option<f64>,
+    /// Tenant SLO classes, seconds, assigned to cameras round-robin — the
+    /// tenant-mix axis. Empty = every camera uses the cell's SLO.
+    pub tenant_slos_s: Vec<f64>,
+}
+
 /// A declarative experiment: the cartesian product of its axes.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepGrid {
@@ -121,6 +216,10 @@ pub struct SweepGrid {
     /// Backend instance-cap override for every cell. The outer `None`
     /// keeps the engine default; `Some(None)` means unlimited scale-out.
     pub max_instances: Option<Option<usize>>,
+    /// Streaming-scenario override: `None` (the default) replays traces
+    /// through the legacy batch path; `Some` runs every cell on the
+    /// event-driven engine with generated arrivals, churn and tenants.
+    pub scenario: Option<ScenarioSpec>,
 }
 
 impl SweepGrid {
@@ -139,6 +238,7 @@ impl SweepGrid {
             mark_timeouts_s: Vec::new(),
             max_fps: None,
             max_instances: None,
+            scenario: None,
         }
     }
 
@@ -358,6 +458,40 @@ mod tests {
             assert_eq!(policy_from_name(p.name()), Some(p));
         }
         assert_eq!(policy_from_name("nope"), None);
+    }
+
+    #[test]
+    fn arrival_specs_map_to_engine_processes() {
+        use tangram_core::online::ArrivalProcess;
+        assert_eq!(
+            ArrivalSpec::Poisson { fps: 5.0 }.process(),
+            ArrivalProcess::Poisson { fps: 5.0 }
+        );
+        assert_eq!(ArrivalSpec::Poisson { fps: 5.0 }.kind(), "poisson");
+        assert_eq!(
+            ArrivalSpec::Bursty {
+                calm_fps: 1.0,
+                burst_fps: 9.0,
+                mean_calm_s: 2.0,
+                mean_burst_s: 0.5
+            }
+            .kind(),
+            "bursty"
+        );
+        assert_eq!(
+            ArrivalSpec::Diurnal {
+                min_fps: 1.0,
+                max_fps: 8.0,
+                period_s: 30.0
+            }
+            .kind(),
+            "diurnal"
+        );
+    }
+
+    #[test]
+    fn grids_default_to_trace_replay() {
+        assert_eq!(SweepGrid::named("x").scenario, None);
     }
 
     #[test]

@@ -7,7 +7,10 @@
 //!
 //! * [`grid`] — declarative [`grid::SweepGrid`]s; cells carry seeds
 //!   forked per cell via `DetRng::derive_seed`, so results never depend
-//!   on which thread ran them;
+//!   on which thread ran them. A grid may also mount a
+//!   [`grid::ScenarioSpec`] to run its cells on the event-driven
+//!   streaming engine (open-loop arrivals, camera churn, tenant SLO
+//!   mixes) instead of trace replay;
 //! * [`pool`] — a crossbeam-channel worker pool
 //!   ([`pool::parallel_map`]) that preserves input order;
 //! * [`runner`] — [`runner::run_grid`]: traces built once per workload,
@@ -23,6 +26,27 @@
 //!   (the vendored `serde` is a compile-only stub);
 //! * [`cli`] / [`table`] — the experiment binaries' shared flags and
 //!   text-table rendering.
+//!
+//! # Example
+//!
+//! ```
+//! use tangram_core::engine::PolicyKind;
+//! use tangram_harness::{run_grid, SweepGrid, TraceKind, WorkloadSpec};
+//! use tangram_types::ids::SceneId;
+//!
+//! let mut grid = SweepGrid::named("doc");
+//! grid.policies = vec![PolicyKind::Tangram, PolicyKind::Elf];
+//! grid.seeds = vec![7];
+//! grid.slos_s = vec![1.0];
+//! grid.bandwidths_mbps = vec![40.0];
+//! grid.workloads = vec![WorkloadSpec::single(SceneId::new(1), 4, TraceKind::Proxy)];
+//! assert_eq!(grid.cell_count(), 2);
+//!
+//! let report = run_grid(&grid, 2);
+//! assert_eq!(report.cells.len(), 2);
+//! // Parallel fan-out is byte-identical to a sequential run.
+//! assert_eq!(report.to_json(), run_grid(&grid, 1).to_json());
+//! ```
 
 pub mod cli;
 pub mod grid;
@@ -34,8 +58,8 @@ pub mod runner;
 pub mod table;
 
 pub use cli::ExpOpts;
-pub use grid::{SweepCell, SweepGrid, TraceKind, WorkloadSpec};
+pub use grid::{ArrivalSpec, ScenarioSpec, SweepCell, SweepGrid, TraceKind, WorkloadSpec};
 pub use pool::parallel_map;
 pub use report::{gate, BenchReport, CellReport, GateConfig, SCHEMA_VERSION};
-pub use runner::{bench_report, run_grid, run_grid_full, CellOutcome};
+pub use runner::{bench_report, run_grid, run_grid_full, run_scenario, CellOutcome};
 pub use table::TextTable;

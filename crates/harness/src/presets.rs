@@ -6,7 +6,7 @@
 //! table experiments, and the default engine configuration. They live
 //! here once, as constructors with a paper-default and a stress variant.
 
-use crate::grid::{SweepGrid, TraceKind, WorkloadSpec};
+use crate::grid::{ArrivalSpec, ScenarioSpec, SweepGrid, TraceKind, WorkloadSpec};
 use tangram_core::engine::{EngineConfig, PolicyKind};
 use tangram_core::workload::{CameraTrace, TraceConfig};
 use tangram_sim::rng::DetRng;
@@ -140,6 +140,34 @@ pub fn smoke_grid(seed: u64) -> SweepGrid {
     grid.bandwidths_mbps = vec![20.0, 40.0];
     grid.workloads = WorkloadSpec::per_scene(&motivation_scenes(true), 12, TraceKind::Proxy);
     grid.mark_timeouts_s = paper_mark_timeouts_s();
+    grid
+}
+
+/// The churny multi-tenant streaming grid (the `bench_churn` bin): four
+/// cameras share one uplink, arrive open-loop (Poisson), join staggered
+/// and leave before their frame budget runs out, and alternate between a
+/// tight "gold" SLO and a lax best-effort one. Swept over the four
+/// end-to-end systems at two uplinks.
+#[must_use]
+pub fn churn_grid(seed: u64, frames_per_camera: usize) -> SweepGrid {
+    let mut grid = SweepGrid::named("churn");
+    grid.policies = E2E_POLICIES.to_vec();
+    grid.seeds = vec![seed];
+    grid.slos_s = vec![1.0];
+    grid.bandwidths_mbps = vec![40.0, 80.0];
+    grid.workloads = vec![WorkloadSpec {
+        scenes: vec![1, 2, 3, 4],
+        frames: 8, // content pool per camera; the generator cycles it
+        trace: TraceKind::Proxy,
+    }];
+    grid.mark_timeouts_s = paper_mark_timeouts_s();
+    grid.scenario = Some(ScenarioSpec {
+        arrival: ArrivalSpec::Poisson { fps: 6.0 },
+        frames_per_camera,
+        join_stagger_s: 2.0,
+        session_s: Some(12.0),
+        tenant_slos_s: vec![0.8, 1.5],
+    });
     grid
 }
 

@@ -13,7 +13,9 @@
 //! per *simulated* second, so a scheduling regression moves it while the
 //! host machine's speed cannot.
 
-use crate::grid::{policy_from_name, SweepGrid, TraceKind, WorkloadSpec};
+use crate::grid::{
+    policy_from_name, ArrivalSpec, ScenarioSpec, SweepGrid, TraceKind, WorkloadSpec,
+};
 use crate::json::Json;
 use serde::{Deserialize, Serialize};
 use tangram_core::report::RunSummary;
@@ -128,7 +130,7 @@ impl BenchReport {
 }
 
 fn grid_to_value(grid: &SweepGrid) -> Json {
-    Json::object(vec![
+    let mut fields = vec![
         (
             "policies",
             Json::Array(
@@ -181,7 +183,111 @@ fn grid_to_value(grid: &SweepGrid) -> Json {
                 Some(Some(n)) => Json::U64(n as u64),
             },
         ),
+    ];
+    // Emitted only when configured, so pre-streaming baselines (and their
+    // byte-exact CI comparison) are untouched by the new axis.
+    if let Some(scenario) = &grid.scenario {
+        fields.push(("scenario", scenario_to_value(scenario)));
+    }
+    Json::object(fields)
+}
+
+fn arrival_to_value(spec: &ArrivalSpec) -> Json {
+    let mut fields = vec![("kind", Json::Str(spec.kind().to_string()))];
+    match *spec {
+        ArrivalSpec::Poisson { fps } => fields.push(("fps", Json::F64(fps))),
+        ArrivalSpec::Bursty {
+            calm_fps,
+            burst_fps,
+            mean_calm_s,
+            mean_burst_s,
+        } => {
+            fields.push(("calm_fps", Json::F64(calm_fps)));
+            fields.push(("burst_fps", Json::F64(burst_fps)));
+            fields.push(("mean_calm_s", Json::F64(mean_calm_s)));
+            fields.push(("mean_burst_s", Json::F64(mean_burst_s)));
+        }
+        ArrivalSpec::Diurnal {
+            min_fps,
+            max_fps,
+            period_s,
+        } => {
+            fields.push(("min_fps", Json::F64(min_fps)));
+            fields.push(("max_fps", Json::F64(max_fps)));
+            fields.push(("period_s", Json::F64(period_s)));
+        }
+    }
+    Json::object(fields)
+}
+
+fn arrival_from_value(value: &Json) -> Result<ArrivalSpec, String> {
+    let f = |key: &str| -> Result<f64, String> {
+        value
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing scenario.arrival.{key}"))
+    };
+    match value.get("kind").and_then(Json::as_str) {
+        Some("poisson") => Ok(ArrivalSpec::Poisson { fps: f("fps")? }),
+        Some("bursty") => Ok(ArrivalSpec::Bursty {
+            calm_fps: f("calm_fps")?,
+            burst_fps: f("burst_fps")?,
+            mean_calm_s: f("mean_calm_s")?,
+            mean_burst_s: f("mean_burst_s")?,
+        }),
+        Some("diurnal") => Ok(ArrivalSpec::Diurnal {
+            min_fps: f("min_fps")?,
+            max_fps: f("max_fps")?,
+            period_s: f("period_s")?,
+        }),
+        other => Err(format!("unknown scenario.arrival.kind {other:?}")),
+    }
+}
+
+fn scenario_to_value(spec: &ScenarioSpec) -> Json {
+    Json::object(vec![
+        ("arrival", arrival_to_value(&spec.arrival)),
+        (
+            "frames_per_camera",
+            Json::U64(spec.frames_per_camera as u64),
+        ),
+        ("join_stagger_s", Json::F64(spec.join_stagger_s)),
+        ("session_s", spec.session_s.map_or(Json::Null, Json::F64)),
+        (
+            "tenant_slos_s",
+            Json::Array(spec.tenant_slos_s.iter().map(|&v| Json::F64(v)).collect()),
+        ),
     ])
+}
+
+fn scenario_from_value(value: &Json) -> Result<ScenarioSpec, String> {
+    let arrival = arrival_from_value(value.get("arrival").ok_or("missing scenario.arrival")?)?;
+    let frames_per_camera = value
+        .get("frames_per_camera")
+        .and_then(Json::as_u64)
+        .ok_or("missing scenario.frames_per_camera")? as usize;
+    let join_stagger_s = value
+        .get("join_stagger_s")
+        .and_then(Json::as_f64)
+        .ok_or("missing scenario.join_stagger_s")?;
+    let session_s = match value.get("session_s") {
+        Some(Json::Null) | None => None,
+        Some(v) => Some(v.as_f64().ok_or("bad scenario.session_s")?),
+    };
+    let tenant_slos_s = value
+        .get("tenant_slos_s")
+        .and_then(Json::as_array)
+        .ok_or("missing scenario.tenant_slos_s")?
+        .iter()
+        .map(|v| v.as_f64().ok_or("bad scenario.tenant_slos_s"))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(ScenarioSpec {
+        arrival,
+        frames_per_camera,
+        join_stagger_s,
+        session_s,
+        tenant_slos_s,
+    })
 }
 
 fn grid_from_value(value: &Json) -> Result<SweepGrid, String> {
@@ -246,6 +352,10 @@ fn grid_from_value(value: &Json) -> Result<SweepGrid, String> {
         Some(Json::Str(s)) if s == "unlimited" => Some(None),
         Some(v) => Some(Some(v.as_u64().ok_or("bad grid.max_instances")? as usize)),
     };
+    let scenario = match value.get("scenario") {
+        Some(Json::Null) | None => None,
+        Some(v) => Some(scenario_from_value(v)?),
+    };
     Ok(SweepGrid {
         name: String::new(), // carried by the report, not the echo
         policies,
@@ -257,6 +367,7 @@ fn grid_from_value(value: &Json) -> Result<SweepGrid, String> {
         mark_timeouts_s,
         max_fps,
         max_instances,
+        scenario,
     })
 }
 
@@ -588,6 +699,49 @@ mod tests {
         assert_eq!(back.grid.mark_timeouts_s, report.grid.mark_timeouts_s);
         assert_eq!(back.grid.max_instances, report.grid.max_instances);
         assert_eq!(back.to_json(), text, "render(parse(x)) == x");
+    }
+
+    #[test]
+    fn scenario_free_reports_emit_no_scenario_key() {
+        // Pre-streaming baselines must stay byte-identical: the scenario
+        // field only appears when configured.
+        assert!(!sample_report().to_json().contains("scenario"));
+    }
+
+    #[test]
+    fn scenario_grids_round_trip() {
+        for arrival in [
+            ArrivalSpec::Poisson { fps: 6.0 },
+            ArrivalSpec::Bursty {
+                calm_fps: 2.0,
+                burst_fps: 18.0,
+                mean_calm_s: 3.0,
+                mean_burst_s: 0.5,
+            },
+            ArrivalSpec::Diurnal {
+                min_fps: 1.0,
+                max_fps: 10.0,
+                period_s: 60.0,
+            },
+        ] {
+            let mut report = sample_report();
+            report.grid.scenario = Some(ScenarioSpec {
+                arrival,
+                frames_per_camera: 40,
+                join_stagger_s: 2.0,
+                session_s: if matches!(arrival, ArrivalSpec::Poisson { .. }) {
+                    Some(12.0)
+                } else {
+                    None
+                },
+                tenant_slos_s: vec![0.8, 1.5],
+            });
+            let text = report.to_json();
+            assert!(text.contains("\"scenario\""));
+            let back = BenchReport::from_json(&text).unwrap();
+            assert_eq!(back.grid.scenario, report.grid.scenario);
+            assert_eq!(back.to_json(), text, "render(parse(x)) == x");
+        }
     }
 
     #[test]

@@ -122,6 +122,9 @@ pub struct ServerlessPlatform {
     next_invocation: InvocationId,
     stats: PlatformStats,
     rng: DetRng,
+    /// Invocations submitted but not yet acknowledged by the driver:
+    /// `(id, finishes_at)` in submission order.
+    in_flight: Vec<(InvocationId, SimTime)>,
 }
 
 impl ServerlessPlatform {
@@ -142,6 +145,7 @@ impl ServerlessPlatform {
             next_invocation: InvocationId::default(),
             stats: PlatformStats::default(),
             rng: DetRng::new(seed).fork("serverless"),
+            in_flight: Vec::new(),
         }
     }
 
@@ -180,13 +184,36 @@ impl ServerlessPlatform {
             .count()
     }
 
-    /// Executes a batch.
+    /// Executes a batch and immediately acknowledges its completion — the
+    /// synchronous convenience wrapper around [`Self::submit`] /
+    /// [`Self::complete`] for callers that do not run an event loop.
     ///
     /// # Errors
     ///
     /// [`PlatformError::BatchTooLarge`] when the batch violates the GPU
     /// memory bound (constraint (5)).
     pub fn invoke(
+        &mut self,
+        request: InvocationRequest,
+    ) -> Result<InvocationOutcome, PlatformError> {
+        let outcome = self.submit(request)?;
+        self.complete(outcome.id);
+        Ok(outcome)
+    }
+
+    /// Submits a batch for execution, leaving its completion *in flight*.
+    ///
+    /// The returned outcome carries the scheduled `finished` instant; an
+    /// event-driven caller turns it into a `FunctionComplete` event and
+    /// acknowledges delivery with [`Self::complete`] when that event
+    /// fires. Until then the invocation counts toward
+    /// [`Self::in_flight`].
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::BatchTooLarge`] when the batch violates the GPU
+    /// memory bound (constraint (5)).
+    pub fn submit(
         &mut self,
         request: InvocationRequest,
     ) -> Result<InvocationOutcome, PlatformError> {
@@ -274,7 +301,7 @@ impl ServerlessPlatform {
         self.stats.total_cost += cost;
         self.stats.peak_instances = self.stats.peak_instances.max(self.instances.len());
 
-        Ok(InvocationOutcome {
+        let outcome = InvocationOutcome {
             id: self.next_invocation.bump(),
             instance: self.instances[instance_idx].id,
             cold,
@@ -282,7 +309,30 @@ impl ServerlessPlatform {
             finished,
             execution,
             cost,
-        })
+        };
+        self.in_flight.push((outcome.id, outcome.finished));
+        Ok(outcome)
+    }
+
+    /// Acknowledges the completion event of a previously [`Self::submit`]ted
+    /// invocation, returning whether it was in flight.
+    pub fn complete(&mut self, id: InvocationId) -> bool {
+        let before = self.in_flight.len();
+        self.in_flight.retain(|(pending, _)| *pending != id);
+        self.in_flight.len() < before
+    }
+
+    /// Number of submitted invocations whose completion event has not yet
+    /// been acknowledged.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// The earliest scheduled completion among in-flight invocations.
+    #[must_use]
+    pub fn next_completion(&self) -> Option<SimTime> {
+        self.in_flight.iter().map(|&(_, at)| at).min()
     }
 
     fn sample_cold_start(&mut self) -> SimDuration {
@@ -409,6 +459,37 @@ mod tests {
         let oa = a.invoke(req(3, 0)).unwrap();
         let ob = b.invoke(req(3, 0)).unwrap();
         assert_eq!(oa, ob);
+    }
+
+    #[test]
+    fn submit_tracks_in_flight_until_completed() {
+        let mut p = platform();
+        let a = p.submit(req(1, 0)).unwrap();
+        let b = p.submit(req(1, 0)).unwrap();
+        assert_eq!(p.in_flight(), 2);
+        assert_eq!(p.next_completion(), Some(a.finished.min(b.finished)));
+        assert!(p.complete(a.id));
+        assert_eq!(p.in_flight(), 1);
+        assert!(!p.complete(a.id), "double-ack is a no-op");
+        assert!(p.complete(b.id));
+        assert_eq!(p.next_completion(), None);
+    }
+
+    #[test]
+    fn invoke_is_submit_plus_ack() {
+        let mut p = platform();
+        let o = p.invoke(req(1, 0)).unwrap();
+        assert_eq!(p.in_flight(), 0, "invoke self-acknowledges");
+        assert!(!p.complete(o.id));
+    }
+
+    #[test]
+    fn submit_samples_identically_to_invoke() {
+        let mut via_invoke = platform();
+        let mut via_submit = platform();
+        let a = via_invoke.invoke(req(3, 0)).unwrap();
+        let b = via_submit.submit(req(3, 0)).unwrap();
+        assert_eq!(a, b, "the event-driven path must not perturb sampling");
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! The discrete-event loop: an [`EventQueue`] married to a [`ManualClock`].
+//!
+//! Every event-driven runtime in the reproduction (the end-to-end engine,
+//! the online streaming engine) follows the same shape: schedule events on
+//! a time-ordered queue, pop the earliest, advance the clock to its firing
+//! instant, and let the handler schedule follow-up events. [`EventLoop`]
+//! owns exactly that shape so drivers cannot get the clock/queue pairing
+//! wrong (e.g. handling an event without advancing "now", or letting time
+//! flow backwards).
+//!
+//! Determinism inherits from both halves: [`EventQueue`]'s stable FIFO
+//! tie-breaking orders same-instant events by insertion, and
+//! [`ManualClock`] asserts monotonicity.
+//!
+//! ```
+//! use tangram_sim::driver::EventLoop;
+//! use tangram_types::time::SimTime;
+//!
+//! let mut events: EventLoop<&str> = EventLoop::new();
+//! events.schedule(SimTime::from_micros(10), "boot");
+//! let mut seen = Vec::new();
+//! events.run(|ev, now, payload| {
+//!     seen.push((now, payload));
+//!     if payload == "boot" {
+//!         // Handlers schedule follow-ups on the loop they run in.
+//!         ev.schedule(now + tangram_types::time::SimDuration::from_micros(5), "tick");
+//!     }
+//! });
+//! assert_eq!(seen.len(), 2);
+//! assert_eq!(events.now(), SimTime::from_micros(15));
+//! ```
+
+use crate::clock::{Clock, ManualClock};
+use crate::event::EventQueue;
+use tangram_types::time::SimTime;
+
+/// A deterministic discrete-event loop: queue + clock, stepped together.
+#[derive(Debug, Default)]
+pub struct EventLoop<E> {
+    queue: EventQueue<E>,
+    clock: ManualClock,
+}
+
+impl<E> EventLoop<E> {
+    /// Creates an empty loop positioned at the simulation epoch.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            queue: EventQueue::new(),
+            clock: ManualClock::new(),
+        }
+    }
+
+    /// The current instant (the firing time of the last stepped event).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// A shared view of the loop's clock, for components that read "now"
+    /// through the [`Clock`] trait while the loop drives them.
+    #[must_use]
+    pub fn clock(&self) -> ManualClock {
+        self.clock.clone()
+    }
+
+    /// Schedules `event` to fire at `at`.
+    ///
+    /// Instants already in the past are clamped to "now": a wake-up
+    /// requested for a missed deadline fires immediately instead of
+    /// violating clock monotonicity.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        self.queue.push(at.max(self.clock.now()), event);
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether no events are pending.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Pops the earliest event and advances the clock to its firing time.
+    pub fn step(&mut self) -> Option<(SimTime, E)> {
+        let (at, event) = self.queue.pop()?;
+        self.clock.advance_to(at);
+        Some((at, event))
+    }
+
+    /// Drains the loop, calling `handler` for every event in time order.
+    /// Handlers may schedule further events; the loop runs until idle.
+    pub fn run<F: FnMut(&mut Self, SimTime, E)>(&mut self, mut handler: F) {
+        while let Some((now, event)) = self.step() {
+            handler(self, now, event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tangram_types::time::SimDuration;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn steps_advance_the_clock_in_order() {
+        let mut ev = EventLoop::new();
+        ev.schedule(t(30), 'c');
+        ev.schedule(t(10), 'a');
+        assert_eq!(ev.pending(), 2);
+        assert_eq!(ev.step(), Some((t(10), 'a')));
+        assert_eq!(ev.now(), t(10));
+        assert_eq!(ev.step(), Some((t(30), 'c')));
+        assert_eq!(ev.now(), t(30));
+        assert!(ev.is_idle());
+        assert_eq!(ev.step(), None);
+    }
+
+    #[test]
+    fn past_schedules_clamp_to_now() {
+        let mut ev = EventLoop::new();
+        ev.schedule(t(100), "late");
+        let _ = ev.step();
+        ev.schedule(t(5), "stale wake-up");
+        // Fires at "now" (100), not in the past.
+        assert_eq!(ev.step(), Some((t(100), "stale wake-up")));
+    }
+
+    #[test]
+    fn run_drains_handler_scheduled_events() {
+        let mut ev = EventLoop::new();
+        ev.schedule(t(1), 3u32);
+        let mut fired = Vec::new();
+        ev.run(|ev, now, countdown| {
+            fired.push((now, countdown));
+            if countdown > 0 {
+                ev.schedule(now + SimDuration::from_micros(2), countdown - 1);
+            }
+        });
+        assert_eq!(fired, vec![(t(1), 3), (t(3), 2), (t(5), 1), (t(7), 0)]);
+        assert!(ev.is_idle());
+    }
+
+    #[test]
+    fn shared_clock_view_tracks_the_loop() {
+        let mut ev = EventLoop::new();
+        let view = ev.clock();
+        ev.schedule(t(42), ());
+        let _ = ev.step();
+        assert_eq!(view.now(), t(42));
+    }
+
+    #[test]
+    fn same_instant_events_fire_fifo() {
+        let mut ev = EventLoop::new();
+        for i in 0..10u32 {
+            ev.schedule(t(7), i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| ev.step().map(|(_, p)| p)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+}

@@ -7,6 +7,9 @@
 //!   tie-breaking, the heart of the end-to-end engine;
 //! * [`clock`] — the [`clock::Clock`] abstraction shared by the simulated
 //!   and the live (threaded) runtime;
+//! * [`driver::EventLoop`] — the queue and the clock stepped together:
+//!   the discrete-event loop that drives the streaming engine's
+//!   arrival/timer/completion/churn events;
 //! * [`rng::DetRng`] — seeded, forkable random streams with the handful of
 //!   distributions the substrates need (normal, lognormal, Poisson,
 //!   exponential) implemented locally so no extra crates are required;
@@ -27,11 +30,13 @@
 //! ```
 
 pub mod clock;
+pub mod driver;
 pub mod event;
 pub mod rng;
 pub mod stats;
 
 pub use clock::{Clock, ManualClock};
+pub use driver::EventLoop;
 pub use event::EventQueue;
 pub use rng::DetRng;
 pub use stats::{EmpiricalCdf, Histogram, OnlineStats, TimeSeries};

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Documentation consistency check, run by CI's lints job.
+#
+# Broken intra-doc links in rustdoc are already caught by the
+# `RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps` step; this
+# script covers what rustdoc cannot see: markdown docs referring to
+# experiment binaries that do not exist (e.g. a bin was renamed but
+# README/docs still advertise the old name).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+status=0
+
+# Every `--bin <name>` in README.md and docs/*.md must be a real binary.
+for doc in README.md docs/*.md; do
+  for bin in $(grep -oE '\-\-bin [a-z0-9_]+' "$doc" | awk '{print $2}' | sort -u); do
+    if ! ls crates/*/src/bin/"$bin".rs >/dev/null 2>&1; then
+      echo "ERROR: $doc references missing binary '$bin'"
+      status=1
+    fi
+  done
+done
+
+# Every backtick-quoted bench-bin-looking name (figN_*, tableN_*,
+# ablation_*, bench_*) must exist too — these are how the docs' tables
+# name binaries outside full cargo commands.
+for doc in README.md docs/*.md; do
+  for bin in $(grep -oE '`(fig[0-9]+|table[0-9]+|ablation|bench)_[a-z0-9_]+`' "$doc" \
+               | tr -d '`' | sort -u); do
+    case "$bin" in
+      # Non-binary artifacts that share the prefix.
+      bench_report) continue ;;
+    esac
+    if ! ls crates/*/src/bin/"$bin".rs >/dev/null 2>&1; then
+      echo "ERROR: $doc references missing binary '$bin'"
+      status=1
+    fi
+  done
+done
+
+# Every binary must be documented somewhere (docs stay complete as bins
+# are added).
+for path in crates/*/src/bin/*.rs; do
+  bin=$(basename "$path" .rs)
+  if ! grep -qr -- "$bin" README.md docs/; then
+    echo "ERROR: binary '$bin' is not mentioned in README.md or docs/"
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "check_docs: OK — all documented binaries exist and all binaries are documented"
+fi
+exit "$status"

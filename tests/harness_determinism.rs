@@ -56,3 +56,35 @@ fn reruns_are_reproducible() {
     let second = run_grid(&grid, 2);
     assert_eq!(first.to_json(), second.to_json());
 }
+
+#[test]
+fn churn_scenario_grid_is_parallel_deterministic() {
+    // The streaming path (open-loop arrivals, camera churn, tenant SLO
+    // mix) must hold the same guarantee as trace replay: any worker
+    // count, byte-identical BENCH json — and it must round-trip,
+    // scenario block included.
+    let mut grid = tangram_harness::presets::churn_grid(42, 40);
+    // Shorten the sessions so churn is guaranteed to bite: ~6 fps for
+    // 3 s ≈ 18 frames per camera, well under the 40-frame budget (and
+    // cheap enough for a debug-build test).
+    grid.scenario.as_mut().expect("streaming grid").session_s = Some(3.0);
+    let sequential = run_grid(&grid, 1);
+    let parallel = run_grid(&grid, 4);
+    assert_eq!(sequential.to_json(), parallel.to_json());
+
+    let parsed = BenchReport::from_json(&sequential.to_json()).expect("valid BENCH json");
+    assert_eq!(parsed.grid.scenario, grid.scenario);
+    assert_eq!(parsed.to_json(), sequential.to_json());
+    // Churn truncates: every camera leaves before reaching its budget,
+    // so strictly fewer frames complete than cameras × budget.
+    let cameras = grid.workloads[0].scenes.len() as u64;
+    for cell in &parsed.cells {
+        assert!(cell.metrics.frames > 0);
+        assert!(
+            cell.metrics.frames < cameras * 40,
+            "cell {}: CameraLeave must cut streams short ({} frames)",
+            cell.index,
+            cell.metrics.frames
+        );
+    }
+}
