@@ -20,7 +20,7 @@ use tangram_harness::run_grid;
 fn main() {
     let opts = ExpOpts::from_args();
     let grid = churn_grid(opts.seed, opts.frame_budget(20, 80));
-    let scenario = grid.scenario.as_ref().expect("churn grid is streaming");
+    let scenario = grid.scenarios.first().expect("churn grid is streaming");
     let workers = opts.workers();
     println!(
         "== bench_churn: {} cells on {} workers — {} cameras, Poisson arrivals, join every {:.0} s, leave after {:.0} s, tenants {:?} ==\n",

@@ -1,0 +1,414 @@
+//! SLO-aware ingress admission control.
+//!
+//! Under overload, a serverless video pipeline has exactly one cheap
+//! place to give ground: the ingress, *before* a patch consumes uplink
+//! scheduling state, batching work and GPU time it can no longer convert
+//! into an on-time result. This module makes that decision pluggable:
+//!
+//! * [`AdmissionPolicy`] — the trait the streaming engine consults for
+//!   every work item that reaches the cloud scheduler, fed an
+//!   [`AdmissionSignals`] snapshot (scheduler queue depth plus the
+//!   serverless backend's [`BackendSnapshot`]: in-flight invocations,
+//!   backlog, earliest feasible start);
+//! * [`AlwaysAdmit`] — the open-door default (byte-identical to running
+//!   with no policy at all);
+//! * [`QueueDepthThreshold`] — the classic bound: shed when the
+//!   scheduler already holds too many undispatched work items;
+//! * [`SloShedder`] — the SLO-aware policy: estimates whether the
+//!   arriving patch can still meet its tenant deadline given current
+//!   queue and in-flight state, sheds *doomed* work outright, and under
+//!   sustained pressure sheds lower-class tenants (laxer SLOs) first so
+//!   the tightest class keeps its attainment;
+//! * [`ClosureAdmission`] — adapter keeping the PR-3 closure hook
+//!   (`FnMut(SimTime, &Arrival) -> Admission`) working unchanged.
+//!
+//! Every drop is counted per tenant class in
+//! [`crate::report::RunReport::dropped_by_slo`] and surfaces in the
+//! [`crate::report::RunSummary`] digest, so shedding is visible to BENCH
+//! reports and the CI gate rather than masquerading as throughput.
+
+use crate::policy::Arrival;
+use tangram_serverless::platform::BackendSnapshot;
+use tangram_types::time::{SimDuration, SimTime};
+
+/// Verdict of admission control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Hand the work item to the batching policy.
+    Accept,
+    /// Shed it at the ingress (counted in
+    /// [`crate::report::RunReport::dropped_arrivals`] and per class in
+    /// [`crate::report::RunReport::dropped_by_slo`]).
+    Drop,
+}
+
+/// Legacy admission-control hook (PR 3), consulted for every work item
+/// that reaches the cloud scheduler. Kept as the closure face of
+/// [`AdmissionPolicy`] via [`ClosureAdmission`].
+pub type AdmissionFn = dyn FnMut(SimTime, &Arrival) -> Admission;
+
+/// The load signals an admission policy reads before deciding. A fresh
+/// snapshot is taken per arrival; building it never mutates the engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionSignals {
+    /// Work items admitted to the batching policy but not yet dispatched
+    /// (the scheduler's standing queue).
+    pub queued: usize,
+    /// Backend pressure: in-flight invocations, remaining backlog, and
+    /// when a batch submitted now would start executing.
+    pub backend: BackendSnapshot,
+}
+
+/// An ingress admission policy: decides, per arriving work item, whether
+/// the batching policy ever sees it.
+pub trait AdmissionPolicy {
+    /// Display name (report tables, BENCH json cell labels).
+    fn name(&self) -> &'static str;
+
+    /// Decide the verdict for `arrival` at `now` given `signals`.
+    fn admit(&mut self, now: SimTime, arrival: &Arrival, signals: &AdmissionSignals) -> Admission;
+}
+
+/// Admits everything — the open-door default. An engine with
+/// `AlwaysAdmit` behaves byte-identically to one with no policy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlwaysAdmit;
+
+impl AdmissionPolicy for AlwaysAdmit {
+    fn name(&self) -> &'static str {
+        "always"
+    }
+
+    fn admit(&mut self, _: SimTime, _: &Arrival, _: &AdmissionSignals) -> Admission {
+        Admission::Accept
+    }
+}
+
+/// Sheds once the scheduler's standing queue reaches a fixed depth — the
+/// textbook bound: indiscriminate, SLO-blind, but a useful baseline for
+/// the overload sweeps.
+#[derive(Debug, Clone, Copy)]
+pub struct QueueDepthThreshold {
+    /// Admit while fewer than this many work items are queued.
+    pub max_queued: usize,
+}
+
+impl QueueDepthThreshold {
+    /// A threshold policy shedding at `max_queued` standing work items.
+    #[must_use]
+    pub fn new(max_queued: usize) -> Self {
+        Self { max_queued }
+    }
+}
+
+impl AdmissionPolicy for QueueDepthThreshold {
+    fn name(&self) -> &'static str {
+        "queue-depth"
+    }
+
+    fn admit(&mut self, _: SimTime, _: &Arrival, signals: &AdmissionSignals) -> Admission {
+        if signals.queued >= self.max_queued {
+            Admission::Drop
+        } else {
+            Admission::Accept
+        }
+    }
+}
+
+/// The SLO-aware shedder: predicts the arriving item's completion from
+/// queue depth, backend parallelism and the earliest feasible start, and
+/// sheds
+///
+/// 1. **doomed work** — items whose predicted completion already misses
+///    their own deadline (serving them burns GPU time for a guaranteed
+///    violation), and
+/// 2. **lower classes under pressure** — once the predicted ingress
+///    delay exceeds `pressure × (tightest SLO)`, items of any laxer
+///    class are shed pre-emptively so the tightest ("gold") class keeps
+///    its slack.
+///
+/// Tenant classes are the distinct SLOs observed in traffic; prime them
+/// up front with [`SloShedder::with_classes`] when the mix is known (the
+/// harness does, from the scenario's tenant axis) so the first arrivals
+/// of a lax class are not mistaken for the tightest.
+#[derive(Debug, Clone)]
+pub struct SloShedder {
+    /// Estimated per-item service time on one instance (queue drain is
+    /// scaled by backend parallelism).
+    per_item: SimDuration,
+    /// Fraction of the tightest SLO the predicted ingress delay may reach
+    /// before lower classes are shed.
+    pressure: f64,
+    /// Distinct tenant SLOs seen or primed, tightest first.
+    classes: Vec<SimDuration>,
+}
+
+impl SloShedder {
+    /// A shedder with the given per-item service estimate and the default
+    /// pressure threshold (half the tightest SLO).
+    #[must_use]
+    pub fn new(per_item: SimDuration) -> Self {
+        Self {
+            per_item,
+            pressure: 0.5,
+            classes: Vec::new(),
+        }
+    }
+
+    /// Overrides the pressure threshold (fraction of the tightest SLO).
+    #[must_use]
+    pub fn with_pressure(mut self, pressure: f64) -> Self {
+        self.pressure = pressure.max(0.0);
+        self
+    }
+
+    /// Primes the tenant-class table (distinct SLOs; order irrelevant).
+    #[must_use]
+    pub fn with_classes(mut self, slos: &[SimDuration]) -> Self {
+        for &slo in slos {
+            self.note_class(slo);
+        }
+        self
+    }
+
+    fn note_class(&mut self, slo: SimDuration) {
+        if let Err(at) = self.classes.binary_search(&slo) {
+            self.classes.insert(at, slo);
+        }
+    }
+
+    /// Predicted completion of an item admitted at `now`: the backend's
+    /// earliest feasible start, plus the standing queue and the item
+    /// itself drained at `per_item / parallelism`.
+    #[must_use]
+    pub fn predicted_completion(&self, now: SimTime, signals: &AdmissionSignals) -> SimTime {
+        let parallelism = signals
+            .backend
+            .max_instances
+            .unwrap_or_else(|| signals.backend.live_instances.max(1))
+            .max(1);
+        let drain = self
+            .per_item
+            .mul_f64((signals.queued + 1) as f64 / parallelism as f64);
+        signals.backend.earliest_start.max(now) + drain
+    }
+}
+
+impl AdmissionPolicy for SloShedder {
+    fn name(&self) -> &'static str {
+        "slo-shedder"
+    }
+
+    fn admit(&mut self, now: SimTime, arrival: &Arrival, signals: &AdmissionSignals) -> Admission {
+        let info = arrival.info();
+        self.note_class(info.slo);
+        let predicted = self.predicted_completion(now, signals);
+        // Doomed: the item cannot meet its own deadline even if admitted
+        // right now — any class.
+        if predicted > info.deadline() {
+            return Admission::Drop;
+        }
+        // Pressure shedding: lax classes yield before the tightest class
+        // starts feeling the queue.
+        let tightest = self.classes[0];
+        if info.slo > tightest && predicted.since(now) > tightest.mul_f64(self.pressure) {
+            return Admission::Drop;
+        }
+        Admission::Accept
+    }
+}
+
+/// Adapts the legacy closure hook to [`AdmissionPolicy`] — signals are
+/// ignored, exactly as the PR-3 hook behaved.
+pub struct ClosureAdmission {
+    hook: Box<AdmissionFn>,
+}
+
+impl ClosureAdmission {
+    /// Wraps a closure hook.
+    #[must_use]
+    pub fn new(hook: Box<AdmissionFn>) -> Self {
+        Self { hook }
+    }
+}
+
+impl AdmissionPolicy for ClosureAdmission {
+    fn name(&self) -> &'static str {
+        "closure"
+    }
+
+    fn admit(&mut self, now: SimTime, arrival: &Arrival, _: &AdmissionSignals) -> Admission {
+        (self.hook)(now, arrival)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tangram_types::geometry::Rect;
+    use tangram_types::ids::{CameraId, FrameId, PatchId};
+    use tangram_types::patch::{Patch, PatchInfo};
+    use tangram_types::units::Bytes;
+
+    fn arrival(generated_us: u64, slo_ms: u64) -> Arrival {
+        Arrival::Patch(Patch::new(
+            PatchInfo {
+                id: PatchId::new(1),
+                camera: CameraId::new(0),
+                frame: FrameId::new(0),
+                rect: Rect::new(0, 0, 64, 64),
+                generated_at: SimTime::from_micros(generated_us),
+                slo: SimDuration::from_millis(slo_ms),
+            },
+            Bytes::new(1024),
+        ))
+    }
+
+    fn signals(
+        queued: usize,
+        earliest_start_us: u64,
+        max_instances: Option<usize>,
+    ) -> AdmissionSignals {
+        AdmissionSignals {
+            queued,
+            backend: BackendSnapshot {
+                in_flight: 0,
+                live_instances: max_instances.unwrap_or(1),
+                max_instances,
+                earliest_start: SimTime::from_micros(earliest_start_us),
+                backlog: SimDuration::ZERO,
+            },
+        }
+    }
+
+    #[test]
+    fn always_admit_accepts_under_any_pressure() {
+        let mut policy = AlwaysAdmit;
+        let s = signals(10_000, 9_000_000, Some(1));
+        assert_eq!(
+            policy.admit(SimTime::ZERO, &arrival(0, 100), &s),
+            Admission::Accept
+        );
+    }
+
+    #[test]
+    fn queue_threshold_sheds_at_the_bound() {
+        let mut policy = QueueDepthThreshold::new(4);
+        let a = arrival(0, 1000);
+        assert_eq!(
+            policy.admit(SimTime::ZERO, &a, &signals(3, 0, Some(4))),
+            Admission::Accept
+        );
+        assert_eq!(
+            policy.admit(SimTime::ZERO, &a, &signals(4, 0, Some(4))),
+            Admission::Drop
+        );
+    }
+
+    #[test]
+    fn shedder_drops_doomed_work_of_any_class() {
+        let mut policy = SloShedder::new(SimDuration::from_millis(50))
+            .with_classes(&[SimDuration::from_millis(800)]);
+        // Deadline at 800 ms, but the backend cannot start before 900 ms:
+        // even the tightest (only) class is doomed and shed.
+        let s = signals(0, 900_000, Some(1));
+        assert_eq!(
+            policy.admit(SimTime::ZERO, &arrival(0, 800), &s),
+            Admission::Drop
+        );
+        // Same class with a free backend is admitted.
+        assert_eq!(
+            policy.admit(SimTime::ZERO, &arrival(0, 800), &signals(0, 0, Some(1))),
+            Admission::Accept
+        );
+    }
+
+    #[test]
+    fn shedder_sheds_lax_class_first_under_pressure() {
+        let gold = SimDuration::from_millis(800);
+        let lax = SimDuration::from_millis(1500);
+        let mut policy = SloShedder::new(SimDuration::from_millis(50))
+            .with_pressure(0.5)
+            .with_classes(&[gold, lax]);
+        // 16 queued items on one instance → 850 ms predicted delay:
+        // above the 400 ms pressure bound, below the lax deadline.
+        let s = signals(16, 0, Some(1));
+        assert_eq!(
+            policy.admit(SimTime::ZERO, &arrival(0, 1500), &s),
+            Admission::Drop,
+            "lax class yields under pressure"
+        );
+        // One step shallower (800 ms predicted == gold's deadline) gold
+        // still fits while the pressure bound keeps shedding lax.
+        let s = signals(15, 0, Some(1));
+        assert_eq!(
+            policy.admit(SimTime::ZERO, &arrival(0, 800), &s),
+            Admission::Accept,
+            "gold is admitted while lax is shed"
+        );
+        assert_eq!(
+            policy.admit(SimTime::ZERO, &arrival(0, 1500), &s),
+            Admission::Drop
+        );
+    }
+
+    #[test]
+    fn shedder_scales_queue_drain_by_backend_parallelism() {
+        let policy = SloShedder::new(SimDuration::from_millis(100));
+        // 7 queued + the arrival itself = 8 items; 4-way backend → 200 ms.
+        let s = signals(7, 0, Some(4));
+        assert_eq!(
+            policy.predicted_completion(SimTime::ZERO, &s),
+            SimTime::from_micros(200_000)
+        );
+        // Same queue on one instance → 800 ms.
+        let s = signals(7, 0, Some(1));
+        assert_eq!(
+            policy.predicted_completion(SimTime::ZERO, &s),
+            SimTime::from_micros(800_000)
+        );
+    }
+
+    #[test]
+    fn shedder_learns_classes_from_traffic() {
+        let mut policy = SloShedder::new(SimDuration::from_millis(10));
+        let relaxed = signals(0, 0, Some(4));
+        // Unprimed: the lax class arrives first and is (correctly)
+        // admitted while the system is idle.
+        assert_eq!(
+            policy.admit(SimTime::ZERO, &arrival(0, 1500), &relaxed),
+            Admission::Accept
+        );
+        // Once gold traffic appears, the lax class yields under pressure.
+        assert_eq!(
+            policy.admit(SimTime::ZERO, &arrival(0, 800), &relaxed),
+            Admission::Accept
+        );
+        let pressured = signals(200, 0, Some(1));
+        assert_eq!(
+            policy.admit(SimTime::ZERO, &arrival(0, 1500), &pressured),
+            Admission::Drop
+        );
+    }
+
+    #[test]
+    fn closure_adapter_preserves_hook_behaviour() {
+        let mut policy = ClosureAdmission::new(Box::new(|now, _| {
+            if now >= SimTime::from_secs_f64(1.0) {
+                Admission::Drop
+            } else {
+                Admission::Accept
+            }
+        }));
+        let s = signals(0, 0, Some(1));
+        assert_eq!(policy.name(), "closure");
+        assert_eq!(
+            policy.admit(SimTime::ZERO, &arrival(0, 1000), &s),
+            Admission::Accept
+        );
+        assert_eq!(
+            policy.admit(SimTime::from_secs_f64(2.0), &arrival(0, 1000), &s),
+            Admission::Drop
+        );
+    }
+}

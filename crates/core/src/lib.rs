@@ -16,9 +16,13 @@
 //!   an RoI extractor, replayed identically across policies;
 //! * [`online`] — the event-driven streaming runtime: camera sources are
 //!   generators ([`online::ArrivalProcess`]: Poisson / bursty / diurnal)
-//!   rather than fixed trace slices, cameras join and leave mid-run,
-//!   tenants carry per-class SLOs, and an admission-control hook can shed
-//!   load at the ingress;
+//!   rather than fixed trace slices, cameras join and leave mid-run, and
+//!   tenants carry per-class SLOs;
+//! * [`admission`] — pluggable ingress admission control
+//!   ([`admission::AdmissionPolicy`]): always-admit, queue-depth
+//!   thresholds, and the SLO-aware [`admission::SloShedder`] that sheds
+//!   doomed work and lower-class tenants first under overload, with
+//!   per-tenant drop accounting in the run report;
 //! * [`engine`] — the batch entry point ([`engine::EngineConfig::run`]):
 //!   cameras → edge partitioning → uplink → scheduler → serverless
 //!   platform, producing a [`report::RunReport`] with per-patch
@@ -49,6 +53,7 @@
 //! assert!(report.slo_violation_rate() <= 0.2);
 //! ```
 
+pub mod admission;
 pub mod engine;
 pub mod online;
 pub mod policy;
@@ -57,12 +62,16 @@ pub mod runtime;
 pub mod scheduler;
 pub mod workload;
 
+pub use admission::{
+    Admission, AdmissionPolicy, AdmissionSignals, AlwaysAdmit, ClosureAdmission,
+    QueueDepthThreshold, SloShedder,
+};
 pub use engine::{EngineConfig, PolicyKind};
 pub use online::{
-    Admission, ArrivalProcess, CameraSource, GeneratedSource, OnlineEngine, StreamEvent,
-    TenantClass, TraceReplaySource,
+    ArrivalProcess, CameraSource, GeneratedSource, OnlineEngine, StreamEvent, TenantClass,
+    TraceReplaySource,
 };
 pub use policy::{Arrival, BatchSpec, BatchingPolicy, PolicyOutput};
-pub use report::RunReport;
+pub use report::{RunReport, RunSummary, TenantSummary};
 pub use scheduler::{SchedulerConfig, TangramScheduler};
 pub use workload::{CameraTrace, TraceConfig, TraceFrame};

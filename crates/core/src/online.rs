@@ -18,14 +18,16 @@
 //!   seeded [`ArrivalProcess`] (Poisson, Markov-modulated bursts, or a
 //!   diurnal rate curve) with a per-tenant SLO class;
 //! * [`OnlineEngine`] — the loop itself: captures feed the shared uplink,
-//!   arrivals feed the batching policy (after the optional
-//!   admission-control hook), dispatches are [`ServerlessPlatform::submit`]ted
-//!   and their completions delivered back as events.
+//!   arrivals pass the optional [`crate::admission::AdmissionPolicy`]
+//!   (drops are counted per tenant class) before reaching the batching
+//!   policy, dispatches are [`ServerlessPlatform::submit`]ted and their
+//!   completions delivered back as events.
 //!
 //! The legacy batch entry point is a thin wrapper: it adds one
 //! [`TraceReplaySource`] per trace and runs the same loop, so the 424
 //! pre-existing tests and every figure baseline hold bit-for-bit.
 
+use crate::admission::{AdmissionPolicy, AdmissionSignals, ClosureAdmission};
 use crate::engine::EngineConfig;
 use crate::policy::{Arrival, BatchSpec, BatchingPolicy, CompletionFeedback, FrameArrival};
 use crate::report::{BatchRecord, PatchRecord, RunReport};
@@ -73,19 +75,9 @@ pub enum StreamEvent {
     },
 }
 
-/// Verdict of the admission-control hook.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Admission {
-    /// Hand the work item to the batching policy.
-    Accept,
-    /// Shed it at the ingress (counted in
-    /// [`RunReport::dropped_arrivals`]).
-    Drop,
-}
-
-/// Admission-control hook, consulted for every work item that reaches the
-/// cloud scheduler. The default (no hook) accepts everything.
-pub type AdmissionFn = dyn FnMut(SimTime, &Arrival) -> Admission;
+// Admission control grew into its own subsystem (`crate::admission`);
+// the original names stay importable from here.
+pub use crate::admission::{Admission, AdmissionFn};
 
 /// A per-tenant service class: the SLO stamped on every patch the
 /// tenant's cameras produce.
@@ -368,13 +360,18 @@ pub struct OnlineEngine {
     link: Link,
     events: EventLoop<StreamEvent>,
     cameras: Vec<CameraSlot>,
-    admission: Option<Box<AdmissionFn>>,
+    admission: Option<Box<dyn AdmissionPolicy>>,
     frame_interval: SimDuration,
     patch_records: Vec<PatchRecord>,
     batch_records: Vec<BatchRecord>,
     transmission_busy: SimDuration,
     frames_injected: u64,
+    /// Work items admitted but not yet dispatched (the queue-depth
+    /// admission signal).
+    queued: usize,
     dropped_arrivals: u64,
+    /// Drops per tenant class, keyed by SLO, ascending.
+    dropped_by_slo: Vec<(SimDuration, u64)>,
 }
 
 impl OnlineEngine {
@@ -402,7 +399,9 @@ impl OnlineEngine {
             batch_records: Vec::new(),
             transmission_busy: SimDuration::ZERO,
             frames_injected: 0,
+            queued: 0,
             dropped_arrivals: 0,
+            dropped_by_slo: Vec::new(),
             config: config.clone(),
         }
     }
@@ -425,9 +424,16 @@ impl OnlineEngine {
         self.events.schedule(at, StreamEvent::CameraLeave { cam });
     }
 
-    /// Installs the admission-control hook.
+    /// Installs an admission-control policy. Without one, every arrival
+    /// is admitted (equivalent to [`crate::admission::AlwaysAdmit`]).
+    pub fn set_admission_policy(&mut self, policy: Box<dyn AdmissionPolicy>) {
+        self.admission = Some(policy);
+    }
+
+    /// Installs the legacy closure hook (PR-3 API): wraps it in
+    /// [`ClosureAdmission`], which ignores the load signals.
     pub fn set_admission(&mut self, hook: Box<AdmissionFn>) {
-        self.admission = Some(hook);
+        self.admission = Some(Box::new(ClosureAdmission::new(hook)));
     }
 
     /// Drives the event loop to quiescence and reports the run.
@@ -460,6 +466,7 @@ impl OnlineEngine {
             platform: self.platform.stats(),
             frames: self.frames_injected,
             dropped_arrivals: self.dropped_arrivals,
+            dropped_by_slo: self.dropped_by_slo,
             transmission_busy: self.transmission_busy,
             makespan: self.events.now().since(SimTime::ZERO),
         }
@@ -480,12 +487,22 @@ impl OnlineEngine {
                 }
             }
             StreamEvent::PatchArrival { arrival } => {
-                if let Some(hook) = self.admission.as_mut() {
-                    if hook(now, &arrival) == Admission::Drop {
+                if let Some(policy) = self.admission.as_mut() {
+                    let signals = AdmissionSignals {
+                        queued: self.queued,
+                        backend: self.platform.snapshot(now),
+                    };
+                    if policy.admit(now, &arrival, &signals) == Admission::Drop {
                         self.dropped_arrivals += 1;
+                        let slo = arrival.info().slo;
+                        match self.dropped_by_slo.binary_search_by_key(&slo, |&(s, _)| s) {
+                            Ok(at) => self.dropped_by_slo[at].1 += 1,
+                            Err(at) => self.dropped_by_slo.insert(at, (slo, 1)),
+                        }
                         return;
                     }
                 }
+                self.queued += 1;
                 let output = self.policy.on_arrival(now, arrival);
                 self.apply(now, output.dispatches, output.next_wake);
             }
@@ -602,6 +619,7 @@ impl OnlineEngine {
         if spec.patches.is_empty() {
             return;
         }
+        self.queued = self.queued.saturating_sub(spec.patches.len());
         let max = self.platform.spec().max_canvases().max(1);
         let request = InvocationRequest {
             canvases: spec.inputs.min(max),
@@ -752,6 +770,88 @@ mod tests {
         assert_eq!(report.patches_completed(), 0);
         assert!(report.dropped_arrivals > 0);
         assert!(report.batches.is_empty());
+        // Per-class accounting: one class (the engine default SLO),
+        // carrying every drop.
+        assert_eq!(report.dropped_by_slo.len(), 1);
+        assert_eq!(report.dropped_by_slo[0].0, cfg.slo);
+        assert_eq!(report.dropped_by_slo[0].1, report.dropped_arrivals);
+        let tenants = report.tenant_breakdown();
+        assert_eq!(tenants.len(), 1);
+        assert_eq!(tenants[0].dropped, report.dropped_arrivals);
+        assert_eq!(tenants[0].patches, 0);
+        let summary = report.summarize();
+        assert_eq!(summary.dropped_arrivals, report.dropped_arrivals);
+        assert_eq!(summary.tenants, tenants);
+    }
+
+    #[test]
+    fn always_admit_matches_no_admission_policy() {
+        let cfg = config(PolicyKind::Tangram);
+        let bare = {
+            let mut engine = OnlineEngine::new(&cfg);
+            engine.add_camera_at(SimTime::ZERO, Box::new(poisson_source(1, 20, 8.0, 17)));
+            engine.run().summarize()
+        };
+        let policed = {
+            let mut engine = OnlineEngine::new(&cfg);
+            engine.add_camera_at(SimTime::ZERO, Box::new(poisson_source(1, 20, 8.0, 17)));
+            engine.set_admission_policy(Box::new(crate::admission::AlwaysAdmit));
+            engine.run().summarize()
+        };
+        assert_eq!(bare, policed, "AlwaysAdmit must be a behavioural no-op");
+        assert_eq!(policed.dropped_arrivals, 0);
+    }
+
+    #[test]
+    fn slo_shedder_protects_gold_under_a_capacity_burst() {
+        use crate::admission::SloShedder;
+        // Two serverless instances, a wide uplink, and a Poisson burst at
+        // roughly twice what the backend sustains, split between a tight
+        // "gold" tenant and a lax best-effort one: gold alone fits
+        // capacity, the mix does not.
+        let mut cfg = config(PolicyKind::Tangram);
+        cfg.max_instances = Some(2);
+        cfg.bandwidth_mbps = 200.0;
+        let gold = TenantClass::new("gold", SimDuration::from_millis(800));
+        let best_effort = TenantClass::new("best-effort", SimDuration::from_secs(3));
+
+        let mut engine = OnlineEngine::new(&cfg);
+        engine.add_camera_at(
+            SimTime::ZERO,
+            Box::new(poisson_source(1, 60, 16.0, 21).with_tenant(&gold)),
+        );
+        engine.add_camera_at(
+            SimTime::ZERO,
+            Box::new(poisson_source(2, 60, 16.0, 22).with_tenant(&best_effort)),
+        );
+        engine.set_admission_policy(Box::new(
+            SloShedder::new(SimDuration::from_millis(20))
+                .with_pressure(0.5)
+                .with_classes(&[gold.slo, best_effort.slo]),
+        ));
+        let report = engine.run();
+        let tenants = report.tenant_breakdown();
+        assert_eq!(tenants.len(), 2);
+        let gold_row = &tenants[0];
+        let lax_row = &tenants[1];
+        assert!((gold_row.slo_s - 0.8).abs() < 1e-12);
+        assert!(
+            gold_row.patches > 0,
+            "gold keeps completing under the burst"
+        );
+        assert_eq!(
+            gold_row.dropped, 0,
+            "gold-class patches survive the 2x burst"
+        );
+        assert!(
+            lax_row.dropped > 0,
+            "best-effort is shed first under pressure"
+        );
+        assert_eq!(
+            report.dropped_arrivals,
+            gold_row.dropped + lax_row.dropped,
+            "per-class drops sum to the total"
+        );
     }
 
     #[test]

@@ -20,6 +20,18 @@ pub enum Arrival {
     Frame(FrameArrival),
 }
 
+impl Arrival {
+    /// The work item's metadata (identity, capture instant, SLO) —
+    /// uniform across patch and frame pipelines.
+    #[must_use]
+    pub fn info(&self) -> &PatchInfo {
+        match self {
+            Arrival::Patch(patch) => &patch.info,
+            Arrival::Frame(frame) => &frame.info,
+        }
+    }
+}
+
 /// A full- or masked-frame work item.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct FrameArrival {

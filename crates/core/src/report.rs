@@ -75,9 +75,12 @@ pub struct RunReport {
     pub platform: PlatformStats,
     /// Frames injected.
     pub frames: u64,
-    /// Work items shed by the streaming engine's admission-control hook
-    /// (always zero for trace replay without a hook).
+    /// Work items shed by the streaming engine's admission-control
+    /// policy (always zero for trace replay without one).
     pub dropped_arrivals: u64,
+    /// Admission drops per tenant class, keyed by the class SLO,
+    /// ascending. Sums to `dropped_arrivals`.
+    pub dropped_by_slo: Vec<(SimDuration, u64)>,
     /// Total wire time spent transmitting (Fig. 14c's breakdown).
     pub transmission_busy: SimDuration,
     /// Simulated makespan of the run.
@@ -219,6 +222,45 @@ impl RunReport {
         out
     }
 
+    /// Per-tenant-class accounting: one row per distinct SLO observed in
+    /// completed patches or admission drops, ascending by SLO. A run with
+    /// one tenant class yields one row; shedding under a mixed-SLO
+    /// scenario is where the rows diverge.
+    #[must_use]
+    pub fn tenant_breakdown(&self) -> Vec<TenantSummary> {
+        fn row(rows: &mut Vec<TenantSummary>, slo: SimDuration) -> usize {
+            let slo_s = slo.as_secs_f64();
+            match rows.binary_search_by(|r| r.slo_s.partial_cmp(&slo_s).expect("finite SLO")) {
+                Ok(at) => at,
+                Err(at) => {
+                    rows.insert(
+                        at,
+                        TenantSummary {
+                            slo_s,
+                            patches: 0,
+                            violations: 0,
+                            dropped: 0,
+                        },
+                    );
+                    at
+                }
+            }
+        }
+        let mut rows: Vec<TenantSummary> = Vec::new();
+        for p in &self.patches {
+            let at = row(&mut rows, p.slo);
+            rows[at].patches += 1;
+            if p.violated() {
+                rows[at].violations += 1;
+            }
+        }
+        for &(slo, dropped) in &self.dropped_by_slo {
+            let at = row(&mut rows, slo);
+            rows[at].dropped += dropped;
+        }
+        rows
+    }
+
     /// Collapses the run into its scalar digest — the per-cell record the
     /// experiment harness serialises into `BENCH_*.json`.
     #[must_use]
@@ -237,6 +279,8 @@ impl RunReport {
             patches: self.patches_completed() as u64,
             batches: self.batches.len() as u64,
             violations,
+            dropped_arrivals: self.dropped_arrivals,
+            tenants: self.tenant_breakdown(),
             slo_attainment: 1.0 - self.slo_violation_rate(),
             mean_latency_s: self.mean_latency().as_secs_f64(),
             p50_latency_s: self.latency_quantile(0.5).as_secs_f64(),
@@ -276,6 +320,21 @@ impl RunReport {
     }
 }
 
+/// One tenant class's slice of a run: completions, violations and
+/// admission drops for every patch stamped with the same SLO.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantSummary {
+    /// The class SLO, seconds (tenant identity: every camera of a class
+    /// stamps the same SLO).
+    pub slo_s: f64,
+    /// Patches of this class that completed.
+    pub patches: u64,
+    /// Completed patches of this class that missed the SLO.
+    pub violations: u64,
+    /// Arrivals of this class shed at the ingress.
+    pub dropped: u64,
+}
+
 /// The scalar digest of one [`RunReport`] — every metric a sweep cell
 /// records, and nothing that scales with the run length.
 ///
@@ -297,6 +356,12 @@ pub struct RunSummary {
     pub batches: u64,
     /// Patches that missed their SLO.
     pub violations: u64,
+    /// Work items shed at the ingress by admission control. **Not**
+    /// counted in `patches` or `throughput_pps`: a policy that sheds 90%
+    /// of traffic shows up here as drift, not as a throughput win.
+    pub dropped_arrivals: u64,
+    /// Per-tenant-class accounting (one row per distinct SLO, ascending).
+    pub tenants: Vec<TenantSummary>,
     /// Fraction of patches that met their SLO.
     pub slo_attainment: f64,
     /// Mean end-to-end patch latency, seconds.
@@ -352,6 +417,7 @@ mod tests {
             platform: PlatformStats::default(),
             frames: 1,
             dropped_arrivals: 0,
+            dropped_by_slo: vec![],
             transmission_busy: SimDuration::ZERO,
             makespan: SimDuration::from_secs(1),
         }

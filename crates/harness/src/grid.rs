@@ -17,6 +17,7 @@
 //!   shared across policy/bandwidth/SLO so only the axis under test
 //!   varies.
 
+use tangram_core::admission::{AdmissionPolicy, AlwaysAdmit, QueueDepthThreshold, SloShedder};
 use tangram_core::engine::{EngineConfig, PolicyKind};
 use tangram_core::online::ArrivalProcess;
 use tangram_sim::rng::DetRng;
@@ -189,6 +190,68 @@ pub struct ScenarioSpec {
     pub tenant_slos_s: Vec<f64>,
 }
 
+/// The declarative face of [`tangram_core::admission`]: which ingress
+/// admission-control policy a cell runs, with stable names for
+/// `BENCH_*.json`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdmissionSpec {
+    /// Admit everything (identical to running with no policy).
+    Always,
+    /// Shed once the scheduler queue reaches `max_queued` work items.
+    QueueDepth {
+        /// Admit while fewer than this many work items are queued.
+        max_queued: usize,
+    },
+    /// The SLO-aware shedder: sheds doomed work and lower-class tenants
+    /// first under overload.
+    SloShedder {
+        /// Estimated per-item service time, seconds.
+        per_item_s: f64,
+        /// Fraction of the tightest SLO the predicted ingress delay may
+        /// reach before lower classes are shed.
+        pressure: f64,
+    },
+}
+
+impl AdmissionSpec {
+    /// Stable name used in `BENCH_*.json` and report tables.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AdmissionSpec::Always => "always",
+            AdmissionSpec::QueueDepth { .. } => "queue-depth",
+            AdmissionSpec::SloShedder { .. } => "slo-shedder",
+        }
+    }
+
+    /// Builds the engine-side policy. `tenant_slos_s` primes the
+    /// SLO-aware shedder's class table (the scenario's tenant axis), so
+    /// shedding priorities are right from the first arrival.
+    #[must_use]
+    pub fn build(&self, tenant_slos_s: &[f64]) -> Box<dyn AdmissionPolicy> {
+        match *self {
+            AdmissionSpec::Always => Box::new(AlwaysAdmit),
+            AdmissionSpec::QueueDepth { max_queued } => {
+                Box::new(QueueDepthThreshold::new(max_queued))
+            }
+            AdmissionSpec::SloShedder {
+                per_item_s,
+                pressure,
+            } => {
+                let classes: Vec<SimDuration> = tenant_slos_s
+                    .iter()
+                    .map(|&s| SimDuration::from_secs_f64(s))
+                    .collect();
+                Box::new(
+                    SloShedder::new(SimDuration::from_secs_f64(per_item_s))
+                        .with_pressure(pressure)
+                        .with_classes(&classes),
+                )
+            }
+        }
+    }
+}
+
 /// A declarative experiment: the cartesian product of its axes.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepGrid {
@@ -216,10 +279,15 @@ pub struct SweepGrid {
     /// Backend instance-cap override for every cell. The outer `None`
     /// keeps the engine default; `Some(None)` means unlimited scale-out.
     pub max_instances: Option<Option<usize>>,
-    /// Streaming-scenario override: `None` (the default) replays traces
-    /// through the legacy batch path; `Some` runs every cell on the
-    /// event-driven engine with generated arrivals, churn and tenants.
-    pub scenario: Option<ScenarioSpec>,
+    /// Streaming-scenario axis: empty (the default) replays traces
+    /// through the legacy batch path; non-empty runs every cell on the
+    /// event-driven engine with generated arrivals, churn and tenants,
+    /// once per scenario (cross-product with every other axis). A single
+    /// entry reproduces the former `scenario` override byte-for-byte.
+    pub scenarios: Vec<ScenarioSpec>,
+    /// Admission-control axis: empty (the default) runs with no ingress
+    /// policy; non-empty crosses every cell with each policy.
+    pub admission: Vec<AdmissionSpec>,
 }
 
 impl SweepGrid {
@@ -238,7 +306,8 @@ impl SweepGrid {
             mark_timeouts_s: Vec::new(),
             max_fps: None,
             max_instances: None,
-            scenario: None,
+            scenarios: Vec::new(),
+            admission: Vec::new(),
         }
     }
 
@@ -246,43 +315,67 @@ impl SweepGrid {
     #[must_use]
     pub fn cell_count(&self) -> usize {
         self.workloads.len()
+            * self.scenarios.len().max(1)
             * self.policies.len()
             * self.bandwidths_mbps.len()
             * self.slos_s.len()
             * self.sigma_multipliers.len()
             * self.seeds.len()
+            * self.admission.len().max(1)
     }
 
     /// Enumerates every cell in a fixed order (workload-major, then
-    /// policy, bandwidth, SLO, sigma, seed). The order — and everything
-    /// else about a cell — is independent of how many workers later run
-    /// it.
+    /// scenario, policy, bandwidth, SLO, sigma, seed, admission; absent
+    /// scenario/admission axes contribute a single pass-through
+    /// iteration, so legacy grids keep their exact cell order). The
+    /// order — and everything else about a cell — is independent of how
+    /// many workers later run it.
     #[must_use]
     pub fn cells(&self) -> Vec<SweepCell> {
+        // Optional axes iterate once as `None` when unset.
+        let opt = |len: usize| -> Vec<Option<usize>> {
+            if len == 0 {
+                vec![None]
+            } else {
+                (0..len).map(Some).collect()
+            }
+        };
+        let scenario_axis = opt(self.scenarios.len());
+        let admission_axis = opt(self.admission.len());
         let mut cells = Vec::with_capacity(self.cell_count());
         for (workload_index, _) in self.workloads.iter().enumerate() {
-            for &policy in &self.policies {
-                for &bandwidth_mbps in &self.bandwidths_mbps {
-                    for &slo_s in &self.slos_s {
-                        for &sigma_multiplier in &self.sigma_multipliers {
-                            for &seed in &self.seeds {
-                                let root = DetRng::new(seed);
-                                cells.push(SweepCell {
-                                    index: cells.len(),
-                                    policy,
-                                    seed,
-                                    slo_s,
-                                    bandwidth_mbps,
-                                    sigma_multiplier,
-                                    workload_index,
-                                    trace_seed: root
-                                        .derive_seed("harness-trace", workload_index as u64),
-                                    engine_seed: root
-                                        .derive_seed("harness-engine", workload_index as u64),
-                                    mark_timeout_s: self.mark_timeout_for(bandwidth_mbps),
-                                    max_fps: self.max_fps,
-                                    max_instances: self.max_instances,
-                                });
+            for &scenario_index in &scenario_axis {
+                for &policy in &self.policies {
+                    for &bandwidth_mbps in &self.bandwidths_mbps {
+                        for &slo_s in &self.slos_s {
+                            for &sigma_multiplier in &self.sigma_multipliers {
+                                for &seed in &self.seeds {
+                                    for &admission_index in &admission_axis {
+                                        let root = DetRng::new(seed);
+                                        cells.push(SweepCell {
+                                            index: cells.len(),
+                                            policy,
+                                            seed,
+                                            slo_s,
+                                            bandwidth_mbps,
+                                            sigma_multiplier,
+                                            workload_index,
+                                            scenario_index,
+                                            admission_index,
+                                            trace_seed: root.derive_seed(
+                                                "harness-trace",
+                                                workload_index as u64,
+                                            ),
+                                            engine_seed: root.derive_seed(
+                                                "harness-engine",
+                                                workload_index as u64,
+                                            ),
+                                            mark_timeout_s: self.mark_timeout_for(bandwidth_mbps),
+                                            max_fps: self.max_fps,
+                                            max_instances: self.max_instances,
+                                        });
+                                    }
+                                }
                             }
                         }
                     }
@@ -319,6 +412,10 @@ pub struct SweepCell {
     pub sigma_multiplier: f64,
     /// Index into [`SweepGrid::workloads`].
     pub workload_index: usize,
+    /// Index into [`SweepGrid::scenarios`] (`None` = trace replay).
+    pub scenario_index: Option<usize>,
+    /// Index into [`SweepGrid::admission`] (`None` = no ingress policy).
+    pub admission_index: Option<usize>,
     /// Derived seed for workload/trace construction (shared across
     /// policies at the same workload × seed).
     pub trace_seed: u64,
@@ -491,7 +588,55 @@ mod tests {
 
     #[test]
     fn grids_default_to_trace_replay() {
-        assert_eq!(SweepGrid::named("x").scenario, None);
+        let grid = SweepGrid::named("x");
+        assert!(grid.scenarios.is_empty());
+        assert!(grid.admission.is_empty());
+    }
+
+    #[test]
+    fn scenario_and_admission_axes_multiply_the_product() {
+        use crate::presets::churn_scenario;
+        let mut grid = tiny_grid();
+        let base = grid.cell_count();
+        grid.scenarios = vec![churn_scenario(6.0, 10), churn_scenario(12.0, 10)];
+        grid.admission = vec![
+            AdmissionSpec::Always,
+            AdmissionSpec::SloShedder {
+                per_item_s: 0.04,
+                pressure: 0.5,
+            },
+        ];
+        assert_eq!(grid.cell_count(), base * 4);
+        let cells = grid.cells();
+        assert_eq!(cells.len(), grid.cell_count());
+        // Both optional indices are resolved on every cell, and adjacent
+        // cells differ in admission first (innermost axis).
+        assert_eq!(cells[0].scenario_index, Some(0));
+        assert_eq!(cells[0].admission_index, Some(0));
+        assert_eq!(cells[1].admission_index, Some(1));
+        assert_eq!(cells[1].scenario_index, Some(0));
+        assert!(cells.iter().any(|c| c.scenario_index == Some(1)));
+        // Paired comparison holds across the new axes: same workload ×
+        // seed × scenario cells share trace and engine seeds.
+        assert_eq!(cells[0].trace_seed, cells[1].trace_seed);
+        assert_eq!(cells[0].engine_seed, cells[1].engine_seed);
+    }
+
+    #[test]
+    fn admission_specs_build_engine_policies() {
+        assert_eq!(AdmissionSpec::Always.kind(), "always");
+        assert_eq!(
+            AdmissionSpec::QueueDepth { max_queued: 8 }.kind(),
+            "queue-depth"
+        );
+        let spec = AdmissionSpec::SloShedder {
+            per_item_s: 0.05,
+            pressure: 0.5,
+        };
+        assert_eq!(spec.kind(), "slo-shedder");
+        // Policies build without panicking, classes primed or not.
+        let _ = AdmissionSpec::Always.build(&[]);
+        let _ = spec.build(&[0.8, 1.5]);
     }
 
     #[test]

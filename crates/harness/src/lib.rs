@@ -7,10 +7,13 @@
 //!
 //! * [`grid`] — declarative [`grid::SweepGrid`]s; cells carry seeds
 //!   forked per cell via `DetRng::derive_seed`, so results never depend
-//!   on which thread ran them. A grid may also mount a
-//!   [`grid::ScenarioSpec`] to run its cells on the event-driven
+//!   on which thread ran them. A grid may also sweep
+//!   [`grid::ScenarioSpec`]s — running its cells on the event-driven
 //!   streaming engine (open-loop arrivals, camera churn, tenant SLO
-//!   mixes) instead of trace replay;
+//!   mixes) instead of trace replay, one cell per scenario — and an
+//!   [`grid::AdmissionSpec`] axis crossing every cell with ingress
+//!   admission-control policies (always-admit, queue bounds, the
+//!   SLO-aware shedder);
 //! * [`pool`] — a crossbeam-channel worker pool
 //!   ([`pool::parallel_map`]) that preserves input order;
 //! * [`runner`] — [`runner::run_grid`]: traces built once per workload,
@@ -58,7 +61,9 @@ pub mod runner;
 pub mod table;
 
 pub use cli::ExpOpts;
-pub use grid::{ArrivalSpec, ScenarioSpec, SweepCell, SweepGrid, TraceKind, WorkloadSpec};
+pub use grid::{
+    AdmissionSpec, ArrivalSpec, ScenarioSpec, SweepCell, SweepGrid, TraceKind, WorkloadSpec,
+};
 pub use pool::parallel_map;
 pub use report::{gate, BenchReport, CellReport, GateConfig, SCHEMA_VERSION};
 pub use runner::{bench_report, run_grid, run_grid_full, run_scenario, CellOutcome};

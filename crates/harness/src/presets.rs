@@ -6,7 +6,7 @@
 //! table experiments, and the default engine configuration. They live
 //! here once, as constructors with a paper-default and a stress variant.
 
-use crate::grid::{ArrivalSpec, ScenarioSpec, SweepGrid, TraceKind, WorkloadSpec};
+use crate::grid::{AdmissionSpec, ArrivalSpec, ScenarioSpec, SweepGrid, TraceKind, WorkloadSpec};
 use tangram_core::engine::{EngineConfig, PolicyKind};
 use tangram_core::workload::{CameraTrace, TraceConfig};
 use tangram_sim::rng::DetRng;
@@ -143,6 +143,24 @@ pub fn smoke_grid(seed: u64) -> SweepGrid {
     grid
 }
 
+/// The gold/best-effort tenant SLO mix shared by the streaming presets:
+/// a tight 0.8 s class alternating with a lax 1.5 s one.
+pub const TENANT_MIX_SLOS_S: [f64; 2] = [0.8, 1.5];
+
+/// A Poisson streaming scenario at `fps` per camera with the standard
+/// gold/best-effort tenant mix and simultaneous joins — the building
+/// block of the overload sweep's offered-load axis.
+#[must_use]
+pub fn churn_scenario(fps: f64, frames_per_camera: usize) -> ScenarioSpec {
+    ScenarioSpec {
+        arrival: ArrivalSpec::Poisson { fps },
+        frames_per_camera,
+        join_stagger_s: 0.0,
+        session_s: None,
+        tenant_slos_s: TENANT_MIX_SLOS_S.to_vec(),
+    }
+}
+
 /// The churny multi-tenant streaming grid (the `bench_churn` bin): four
 /// cameras share one uplink, arrive open-loop (Poisson), join staggered
 /// and leave before their frame budget runs out, and alternate between a
@@ -161,13 +179,63 @@ pub fn churn_grid(seed: u64, frames_per_camera: usize) -> SweepGrid {
         trace: TraceKind::Proxy,
     }];
     grid.mark_timeouts_s = paper_mark_timeouts_s();
-    grid.scenario = Some(ScenarioSpec {
+    grid.scenarios = vec![ScenarioSpec {
         arrival: ArrivalSpec::Poisson { fps: 6.0 },
         frames_per_camera,
         join_stagger_s: 2.0,
         session_s: Some(12.0),
-        tenant_slos_s: vec![0.8, 1.5],
-    });
+        tenant_slos_s: TENANT_MIX_SLOS_S.to_vec(),
+    }];
+    grid
+}
+
+/// The offered-load ramp of the overload sweep, mean frames per second
+/// per camera: from comfortably under capacity to well past it (four
+/// cameras share the uplink, so the top rate is a sustained overload).
+pub const OVERLOAD_RAMP_FPS: [f64; 4] = [3.0, 6.0, 12.0, 24.0];
+
+/// The admission axis of the overload sweep: the open door (drops
+/// nothing, attainment collapses past capacity) against the SLO-aware
+/// shedder (sheds best-effort first, keeps gold's attainment).
+#[must_use]
+pub fn overload_admission_axis() -> Vec<AdmissionSpec> {
+    vec![
+        AdmissionSpec::Always,
+        AdmissionSpec::SloShedder {
+            per_item_s: 0.02,
+            pressure: 0.5,
+        },
+    ]
+}
+
+/// The overload grid (the `bench_overload` bin): Tangram under a ramp of
+/// Poisson rates crossing backend capacity, × the admission axis — the
+/// paper-style "attainment vs offered load" experiment. Four cameras
+/// with the gold/best-effort tenant mix; `smoke` keeps two ramp points
+/// for CI.
+#[must_use]
+pub fn overload_grid(seed: u64, frames_per_camera: usize, smoke: bool) -> SweepGrid {
+    let mut grid = SweepGrid::named(if smoke { "overload" } else { "overload_full" });
+    grid.policies = vec![PolicyKind::Tangram];
+    grid.seeds = vec![seed];
+    grid.slos_s = vec![1.0];
+    grid.bandwidths_mbps = vec![80.0];
+    grid.workloads = vec![WorkloadSpec {
+        scenes: vec![1, 2, 3, 4],
+        frames: 8, // content pool per camera; the generator cycles it
+        trace: TraceKind::Proxy,
+    }];
+    grid.mark_timeouts_s = paper_mark_timeouts_s();
+    let ramp: &[f64] = if smoke {
+        &[OVERLOAD_RAMP_FPS[1], OVERLOAD_RAMP_FPS[3]]
+    } else {
+        &OVERLOAD_RAMP_FPS
+    };
+    grid.scenarios = ramp
+        .iter()
+        .map(|&fps| churn_scenario(fps, frames_per_camera))
+        .collect();
+    grid.admission = overload_admission_axis();
     grid
 }
 

@@ -14,14 +14,16 @@
 //! host machine's speed cannot.
 
 use crate::grid::{
-    policy_from_name, ArrivalSpec, ScenarioSpec, SweepGrid, TraceKind, WorkloadSpec,
+    policy_from_name, AdmissionSpec, ArrivalSpec, ScenarioSpec, SweepGrid, TraceKind, WorkloadSpec,
 };
 use crate::json::Json;
 use serde::{Deserialize, Serialize};
-use tangram_core::report::RunSummary;
+use tangram_core::report::{RunSummary, TenantSummary};
 
 /// Version stamped into every `BENCH_*.json`; bump on any field change.
-pub const SCHEMA_VERSION: u64 = 1;
+/// v2 added drop accounting (`dropped_arrivals`, `tenants`) to the
+/// per-cell metrics and the scenario/admission sweep axes to the grid.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// One cell's outcome.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -38,6 +40,13 @@ pub struct CellReport {
     pub sigma_multiplier: f64,
     /// Index into the grid's workload axis.
     pub workload: u64,
+    /// Index into the grid's scenario axis — recorded (and serialized)
+    /// only when the grid sweeps more than one scenario, so
+    /// single-scenario grids keep their legacy cell bytes.
+    pub scenario: Option<u64>,
+    /// Admission-policy name — recorded (and serialized) only when the
+    /// grid sweeps an admission axis.
+    pub admission: Option<String>,
     /// The engine's scalar digest (policy name included).
     pub metrics: RunSummary,
 }
@@ -185,11 +194,65 @@ fn grid_to_value(grid: &SweepGrid) -> Json {
         ),
     ];
     // Emitted only when configured, so pre-streaming baselines (and their
-    // byte-exact CI comparison) are untouched by the new axis.
-    if let Some(scenario) = &grid.scenario {
-        fields.push(("scenario", scenario_to_value(scenario)));
+    // byte-exact CI comparison) are untouched by the axes. A single
+    // scenario keeps the legacy `"scenario"` object form byte-for-byte;
+    // only a real multi-scenario sweep emits the `"scenarios"` array.
+    match grid.scenarios.as_slice() {
+        [] => {}
+        [only] => fields.push(("scenario", scenario_to_value(only))),
+        many => fields.push((
+            "scenarios",
+            Json::Array(many.iter().map(scenario_to_value).collect()),
+        )),
+    }
+    if !grid.admission.is_empty() {
+        fields.push((
+            "admission",
+            Json::Array(grid.admission.iter().map(admission_to_value).collect()),
+        ));
     }
     Json::object(fields)
+}
+
+fn admission_to_value(spec: &AdmissionSpec) -> Json {
+    let mut fields = vec![("kind", Json::Str(spec.kind().to_string()))];
+    match *spec {
+        AdmissionSpec::Always => {}
+        AdmissionSpec::QueueDepth { max_queued } => {
+            fields.push(("max_queued", Json::U64(max_queued as u64)));
+        }
+        AdmissionSpec::SloShedder {
+            per_item_s,
+            pressure,
+        } => {
+            fields.push(("per_item_s", Json::F64(per_item_s)));
+            fields.push(("pressure", Json::F64(pressure)));
+        }
+    }
+    Json::object(fields)
+}
+
+fn admission_from_value(value: &Json) -> Result<AdmissionSpec, String> {
+    let f = |key: &str| -> Result<f64, String> {
+        value
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing admission.{key}"))
+    };
+    match value.get("kind").and_then(Json::as_str) {
+        Some("always") => Ok(AdmissionSpec::Always),
+        Some("queue-depth") => Ok(AdmissionSpec::QueueDepth {
+            max_queued: value
+                .get("max_queued")
+                .and_then(Json::as_u64)
+                .ok_or("missing admission.max_queued")? as usize,
+        }),
+        Some("slo-shedder") => Ok(AdmissionSpec::SloShedder {
+            per_item_s: f("per_item_s")?,
+            pressure: f("pressure")?,
+        }),
+        other => Err(format!("unknown admission.kind {other:?}")),
+    }
 }
 
 fn arrival_to_value(spec: &ArrivalSpec) -> Json {
@@ -352,9 +415,25 @@ fn grid_from_value(value: &Json) -> Result<SweepGrid, String> {
         Some(Json::Str(s)) if s == "unlimited" => Some(None),
         Some(v) => Some(Some(v.as_u64().ok_or("bad grid.max_instances")? as usize)),
     };
-    let scenario = match value.get("scenario") {
-        Some(Json::Null) | None => None,
-        Some(v) => Some(scenario_from_value(v)?),
+    let scenarios = match (value.get("scenario"), value.get("scenarios")) {
+        (Some(Json::Null) | None, None) => Vec::new(),
+        (Some(v), None) => vec![scenario_from_value(v)?],
+        (None, Some(v)) => v
+            .as_array()
+            .ok_or("bad grid.scenarios")?
+            .iter()
+            .map(scenario_from_value)
+            .collect::<Result<Vec<_>, _>>()?,
+        (Some(_), Some(_)) => return Err("grid has both scenario and scenarios".to_string()),
+    };
+    let admission = match value.get("admission") {
+        Some(Json::Null) | None => Vec::new(),
+        Some(v) => v
+            .as_array()
+            .ok_or("bad grid.admission")?
+            .iter()
+            .map(admission_from_value)
+            .collect::<Result<Vec<_>, _>>()?,
     };
     Ok(SweepGrid {
         name: String::new(), // carried by the report, not the echo
@@ -367,7 +446,8 @@ fn grid_from_value(value: &Json) -> Result<SweepGrid, String> {
         mark_timeouts_s,
         max_fps,
         max_instances,
-        scenario,
+        scenarios,
+        admission,
     })
 }
 
@@ -415,9 +495,36 @@ fn workload_from_value(value: &Json) -> Result<WorkloadSpec, String> {
     })
 }
 
+fn tenant_to_value(t: &TenantSummary) -> Json {
+    Json::object(vec![
+        ("slo_s", Json::F64(t.slo_s)),
+        ("patches", Json::U64(t.patches)),
+        ("violations", Json::U64(t.violations)),
+        ("dropped", Json::U64(t.dropped)),
+    ])
+}
+
+fn tenant_from_value(value: &Json) -> Result<TenantSummary, String> {
+    let u = |key: &str| -> Result<u64, String> {
+        value
+            .get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("missing tenant.{key}"))
+    };
+    Ok(TenantSummary {
+        slo_s: value
+            .get("slo_s")
+            .and_then(Json::as_f64)
+            .ok_or("missing tenant.slo_s")?,
+        patches: u("patches")?,
+        violations: u("violations")?,
+        dropped: u("dropped")?,
+    })
+}
+
 fn cell_to_value(cell: &CellReport) -> Json {
     let m = &cell.metrics;
-    Json::object(vec![
+    let mut fields = vec![
         ("index", Json::U64(cell.index)),
         ("policy", Json::Str(m.policy.clone())),
         ("seed", Json::U64(cell.seed)),
@@ -425,36 +532,48 @@ fn cell_to_value(cell: &CellReport) -> Json {
         ("bandwidth_mbps", Json::F64(cell.bandwidth_mbps)),
         ("sigma_multiplier", Json::F64(cell.sigma_multiplier)),
         ("workload", Json::U64(cell.workload)),
-        (
-            "metrics",
-            Json::object(vec![
-                ("frames", Json::U64(m.frames)),
-                ("patches", Json::U64(m.patches)),
-                ("batches", Json::U64(m.batches)),
-                ("violations", Json::U64(m.violations)),
-                ("slo_attainment", Json::F64(m.slo_attainment)),
-                ("mean_latency_s", Json::F64(m.mean_latency_s)),
-                ("p50_latency_s", Json::F64(m.p50_latency_s)),
-                ("p99_latency_s", Json::F64(m.p99_latency_s)),
-                ("cost_usd", Json::F64(m.cost_usd)),
-                ("uplink_bytes", Json::U64(m.uplink_bytes)),
-                ("invocations", Json::U64(m.invocations)),
-                ("cold_starts", Json::U64(m.cold_starts)),
-                (
-                    "mean_canvas_efficiency",
-                    Json::F64(m.mean_canvas_efficiency),
-                ),
-                (
-                    "mean_patches_per_batch",
-                    Json::F64(m.mean_patches_per_batch),
-                ),
-                ("execution_total_s", Json::F64(m.execution_total_s)),
-                ("transmission_total_s", Json::F64(m.transmission_total_s)),
-                ("makespan_s", Json::F64(m.makespan_s)),
-                ("throughput_pps", Json::F64(m.throughput_pps)),
-            ]),
-        ),
-    ])
+    ];
+    if let Some(scenario) = cell.scenario {
+        fields.push(("scenario", Json::U64(scenario)));
+    }
+    if let Some(admission) = &cell.admission {
+        fields.push(("admission", Json::Str(admission.clone())));
+    }
+    fields.extend([(
+        "metrics",
+        Json::object(vec![
+            ("frames", Json::U64(m.frames)),
+            ("patches", Json::U64(m.patches)),
+            ("batches", Json::U64(m.batches)),
+            ("violations", Json::U64(m.violations)),
+            ("dropped_arrivals", Json::U64(m.dropped_arrivals)),
+            (
+                "tenants",
+                Json::Array(m.tenants.iter().map(tenant_to_value).collect()),
+            ),
+            ("slo_attainment", Json::F64(m.slo_attainment)),
+            ("mean_latency_s", Json::F64(m.mean_latency_s)),
+            ("p50_latency_s", Json::F64(m.p50_latency_s)),
+            ("p99_latency_s", Json::F64(m.p99_latency_s)),
+            ("cost_usd", Json::F64(m.cost_usd)),
+            ("uplink_bytes", Json::U64(m.uplink_bytes)),
+            ("invocations", Json::U64(m.invocations)),
+            ("cold_starts", Json::U64(m.cold_starts)),
+            (
+                "mean_canvas_efficiency",
+                Json::F64(m.mean_canvas_efficiency),
+            ),
+            (
+                "mean_patches_per_batch",
+                Json::F64(m.mean_patches_per_batch),
+            ),
+            ("execution_total_s", Json::F64(m.execution_total_s)),
+            ("transmission_total_s", Json::F64(m.transmission_total_s)),
+            ("makespan_s", Json::F64(m.makespan_s)),
+            ("throughput_pps", Json::F64(m.throughput_pps)),
+        ]),
+    )]);
+    Json::object(fields)
 }
 
 fn cell_from_value(value: &Json) -> Result<CellReport, String> {
@@ -483,6 +602,23 @@ fn cell_from_value(value: &Json) -> Result<CellReport, String> {
             .and_then(Json::as_f64)
             .ok_or_else(|| format!("missing cell.{key}"))
     };
+    let tenants = match metrics.get("tenants") {
+        Some(v) => v
+            .as_array()
+            .ok_or("bad metrics.tenants")?
+            .iter()
+            .map(tenant_from_value)
+            .collect::<Result<Vec<_>, _>>()?,
+        None => return Err("missing metrics.tenants".to_string()),
+    };
+    let scenario = match value.get("scenario") {
+        Some(v) => Some(v.as_u64().ok_or("bad cell.scenario")?),
+        None => None,
+    };
+    let admission = match value.get("admission") {
+        Some(v) => Some(v.as_str().ok_or("bad cell.admission")?.to_string()),
+        None => None,
+    };
     Ok(CellReport {
         index: cu("index")?,
         seed: cu("seed")?,
@@ -490,6 +626,8 @@ fn cell_from_value(value: &Json) -> Result<CellReport, String> {
         bandwidth_mbps: cf("bandwidth_mbps")?,
         sigma_multiplier: cf("sigma_multiplier")?,
         workload: cu("workload")?,
+        scenario,
+        admission,
         metrics: RunSummary {
             policy: value
                 .get("policy")
@@ -500,6 +638,8 @@ fn cell_from_value(value: &Json) -> Result<CellReport, String> {
             patches: mu("patches")?,
             batches: mu("batches")?,
             violations: mu("violations")?,
+            dropped_arrivals: mu("dropped_arrivals")?,
+            tenants,
             slo_attainment: mf("slo_attainment")?,
             mean_latency_s: mf("mean_latency_s")?,
             p50_latency_s: mf("p50_latency_s")?,
@@ -578,7 +718,7 @@ pub fn gate(baseline: &BenchReport, candidate: &BenchReport, config: &GateConfig
             ));
             continue;
         }
-        let correctness: [(&str, f64, f64); 6] = [
+        let correctness: [(&str, f64, f64); 7] = [
             (
                 "patches",
                 base.metrics.patches as f64,
@@ -595,6 +735,13 @@ pub fn gate(baseline: &BenchReport, candidate: &BenchReport, config: &GateConfig
                 cand.metrics.violations as f64,
             ),
             (
+                // A policy that sheds more (or less) traffic than the
+                // baseline is a behavioural change, never a perf win.
+                "dropped_arrivals",
+                base.metrics.dropped_arrivals as f64,
+                cand.metrics.dropped_arrivals as f64,
+            ),
+            (
                 "slo_attainment",
                 base.metrics.slo_attainment,
                 cand.metrics.slo_attainment,
@@ -609,6 +756,37 @@ pub fn gate(baseline: &BenchReport, candidate: &BenchReport, config: &GateConfig
         for (name, b, c) in correctness {
             if rel_diff(b, c) > config.correctness_tolerance {
                 violations.push(format!("{label}: {name} drifted {b} -> {c}"));
+            }
+        }
+        // Per-tenant accounting must match exactly too: total drops can
+        // stay flat while classes trade places.
+        if base.metrics.tenants.len() != cand.metrics.tenants.len() {
+            violations.push(format!(
+                "{label}: tenant class count drifted {} -> {}",
+                base.metrics.tenants.len(),
+                cand.metrics.tenants.len()
+            ));
+        } else {
+            for (bt, ct) in base.metrics.tenants.iter().zip(&cand.metrics.tenants) {
+                if rel_diff(bt.slo_s, ct.slo_s) > config.correctness_tolerance {
+                    violations.push(format!(
+                        "{label}: tenant class slo drifted {} -> {}",
+                        bt.slo_s, ct.slo_s
+                    ));
+                    continue;
+                }
+                for (name, b, c) in [
+                    ("patches", bt.patches, ct.patches),
+                    ("violations", bt.violations, ct.violations),
+                    ("dropped", bt.dropped, ct.dropped),
+                ] {
+                    if b != c {
+                        violations.push(format!(
+                            "{label}: tenant slo={} {name} drifted {b} -> {c}",
+                            bt.slo_s
+                        ));
+                    }
+                }
             }
         }
         let b_tp = base.metrics.throughput_pps;
@@ -645,6 +823,13 @@ mod tests {
             patches: 100,
             batches: 10,
             violations: 2,
+            dropped_arrivals: 3,
+            tenants: vec![TenantSummary {
+                slo_s: 1.0,
+                patches: 100,
+                violations: 2,
+                dropped: 3,
+            }],
             slo_attainment: 0.98,
             mean_latency_s: 0.4,
             p50_latency_s: 0.35,
@@ -681,6 +866,8 @@ mod tests {
                 bandwidth_mbps: 20.0,
                 sigma_multiplier: 3.0,
                 workload: 0,
+                scenario: None,
+                admission: None,
                 metrics: sample_summary("Tangram"),
             }],
         }
@@ -704,8 +891,10 @@ mod tests {
     #[test]
     fn scenario_free_reports_emit_no_scenario_key() {
         // Pre-streaming baselines must stay byte-identical: the scenario
-        // field only appears when configured.
-        assert!(!sample_report().to_json().contains("scenario"));
+        // and admission fields only appear when configured.
+        let text = sample_report().to_json();
+        assert!(!text.contains("scenario"));
+        assert!(!text.contains("admission"));
     }
 
     #[test]
@@ -725,7 +914,7 @@ mod tests {
             },
         ] {
             let mut report = sample_report();
-            report.grid.scenario = Some(ScenarioSpec {
+            report.grid.scenarios = vec![ScenarioSpec {
                 arrival,
                 frames_per_camera: 40,
                 join_stagger_s: 2.0,
@@ -735,22 +924,81 @@ mod tests {
                     None
                 },
                 tenant_slos_s: vec![0.8, 1.5],
-            });
+            }];
             let text = report.to_json();
+            // One scenario keeps the legacy singular form.
             assert!(text.contains("\"scenario\""));
+            assert!(!text.contains("\"scenarios\""));
             let back = BenchReport::from_json(&text).unwrap();
-            assert_eq!(back.grid.scenario, report.grid.scenario);
+            assert_eq!(back.grid.scenarios, report.grid.scenarios);
             assert_eq!(back.to_json(), text, "render(parse(x)) == x");
         }
+    }
+
+    #[test]
+    fn multi_scenario_and_admission_grids_round_trip() {
+        let scenario = |fps: f64| ScenarioSpec {
+            arrival: ArrivalSpec::Poisson { fps },
+            frames_per_camera: 30,
+            join_stagger_s: 0.0,
+            session_s: None,
+            tenant_slos_s: vec![0.8, 1.5],
+        };
+        let mut report = sample_report();
+        report.grid.scenarios = vec![scenario(4.0), scenario(16.0)];
+        report.grid.admission = vec![
+            AdmissionSpec::Always,
+            AdmissionSpec::QueueDepth { max_queued: 64 },
+            AdmissionSpec::SloShedder {
+                per_item_s: 0.04,
+                pressure: 0.5,
+            },
+        ];
+        report.cells[0].scenario = Some(1);
+        report.cells[0].admission = Some("slo-shedder".to_string());
+        let text = report.to_json();
+        assert!(text.contains("\"scenarios\""));
+        // The grid-level singular object form is reserved for
+        // single-scenario grids; here `"scenario"` appears only as the
+        // cell's index.
+        assert!(!text.contains("\"scenario\": {"));
+        assert!(text.contains("\"scenario\": 1"));
+        assert!(text.contains("\"admission\""));
+        let back = BenchReport::from_json(&text).unwrap();
+        assert_eq!(back.grid.scenarios, report.grid.scenarios);
+        assert_eq!(back.grid.admission, report.grid.admission);
+        assert_eq!(back.cells, report.cells);
+        assert_eq!(back.to_json(), text, "render(parse(x)) == x");
     }
 
     #[test]
     fn schema_version_is_enforced() {
         let text = sample_report()
             .to_json()
-            .replace("\"schema_version\": 1", "\"schema_version\": 999");
+            .replace("\"schema_version\": 2", "\"schema_version\": 999");
         let err = BenchReport::from_json(&text).unwrap_err();
         assert!(err.contains("schema_version"), "{err}");
+    }
+
+    #[test]
+    fn gate_catches_drop_count_drift() {
+        let baseline = sample_report();
+        let mut candidate = baseline.clone();
+        candidate.cells[0].metrics.dropped_arrivals += 1;
+        let violations = gate(&baseline, &candidate, &GateConfig::default());
+        assert!(
+            violations.iter().any(|v| v.contains("dropped_arrivals")),
+            "{violations:?}"
+        );
+
+        // Per-class drift is caught even when the totals stay flat.
+        let mut reshuffled = baseline.clone();
+        reshuffled.cells[0].metrics.tenants[0].dropped += 2;
+        let violations = gate(&baseline, &reshuffled, &GateConfig::default());
+        assert!(
+            violations.iter().any(|v| v.contains("tenant slo=1")),
+            "{violations:?}"
+        );
     }
 
     #[test]

@@ -1,13 +1,13 @@
 //! Grid execution: fan cells out over the pool, reassemble in order.
 
-use crate::grid::{ScenarioSpec, SweepCell, SweepGrid};
+use crate::grid::{AdmissionSpec, ScenarioSpec, SweepCell, SweepGrid};
 use crate::pool::parallel_map;
 use crate::presets::build_workload;
 use crate::report::{BenchReport, CellReport};
 use std::collections::HashMap;
 use std::sync::Arc;
 use tangram_core::engine::EngineConfig;
-use tangram_core::online::{GeneratedSource, OnlineEngine, TenantClass};
+use tangram_core::online::{GeneratedSource, OnlineEngine, TenantClass, TraceReplaySource};
 use tangram_core::report::RunReport;
 use tangram_core::workload::CameraTrace;
 use tangram_sim::rng::DetRng;
@@ -54,23 +54,53 @@ pub fn run_grid_full(grid: &SweepGrid, workers: usize) -> Vec<CellOutcome> {
     let traces: HashMap<(usize, u64), Arc<Vec<CameraTrace>>> =
         trace_keys.into_iter().zip(built).collect();
 
-    let scenario = grid.scenario.clone();
+    let scenarios = grid.scenarios.clone();
+    let admission = grid.admission.clone();
     parallel_map(cells, workers, move |_, cell| {
         let traces = Arc::clone(&traces[&(cell.workload_index, cell.trace_seed)]);
         let config = cell.engine_config();
-        let report = match &scenario {
-            None => config.run(&traces),
-            Some(scenario) => run_scenario(&config, &traces, scenario),
+        let admission = cell.admission_index.map(|i| &admission[i]);
+        let report = match cell.scenario_index.map(|i| &scenarios[i]) {
+            None => match admission {
+                // No ingress policy: the legacy batch entry point.
+                None => config.run(&traces),
+                // Trace replay under admission control: mount the same
+                // replay sources on the streaming engine (byte-identical
+                // to the batch path when nothing is shed).
+                Some(spec) => run_replay(&config, &traces, spec),
+            },
+            Some(scenario) => run_scenario(&config, &traces, scenario, admission),
         };
         CellOutcome { cell, report }
     })
 }
 
+/// Replays `traces` through the streaming engine exactly as
+/// [`EngineConfig::run`] mounts them (1 ms join stagger per camera),
+/// with an ingress admission policy installed.
+fn run_replay(
+    config: &EngineConfig,
+    traces: &[CameraTrace],
+    admission: &AdmissionSpec,
+) -> RunReport {
+    let mut engine = OnlineEngine::new(config);
+    for (cam, trace) in traces.iter().enumerate() {
+        engine.add_camera_at(
+            SimTime::from_micros(cam as u64 * 1_000),
+            Box::new(TraceReplaySource::new(trace.clone())),
+        );
+    }
+    engine.set_admission_policy(admission.build(&[]));
+    engine.run()
+}
+
 /// Runs one streaming-scenario cell: the cell's traces become per-camera
 /// content pools on an [`OnlineEngine`], cameras join staggered (and
 /// leave after their session, when churn is configured), arrival timing
-/// comes from the scenario's seeded process, and tenant SLO classes are
-/// assigned round-robin.
+/// comes from the scenario's seeded process, tenant SLO classes are
+/// assigned round-robin, and the cell's admission policy (if any) guards
+/// the ingress — the SLO-aware shedder's class table is primed from the
+/// scenario's tenant mix.
 ///
 /// Everything is derived from `config.seed` (the cell's engine seed) via
 /// labelled forks, so the outcome is independent of which worker thread
@@ -80,8 +110,12 @@ pub fn run_scenario(
     config: &EngineConfig,
     traces: &[CameraTrace],
     scenario: &ScenarioSpec,
+    admission: Option<&AdmissionSpec>,
 ) -> RunReport {
     let mut engine = OnlineEngine::new(config);
+    if let Some(spec) = admission {
+        engine.set_admission_policy(spec.build(&scenario.tenant_slos_s));
+    }
     let root = DetRng::new(config.seed);
     for (cam, trace) in traces.iter().enumerate() {
         let rng = root.fork_indexed("scenario-arrival", cam as u64);
@@ -123,6 +157,17 @@ pub fn bench_report(grid: &SweepGrid, outcomes: &[CellOutcome]) -> BenchReport {
                 bandwidth_mbps: o.cell.bandwidth_mbps,
                 sigma_multiplier: o.cell.sigma_multiplier,
                 workload: o.cell.workload_index as u64,
+                // Recorded only when the axis genuinely sweeps, so
+                // single/no-scenario grids keep their legacy cell bytes.
+                scenario: if grid.scenarios.len() > 1 {
+                    o.cell.scenario_index.map(|i| i as u64)
+                } else {
+                    None
+                },
+                admission: o
+                    .cell
+                    .admission_index
+                    .map(|i| grid.admission[i].kind().to_string()),
                 metrics: o.report.summarize(),
             })
             .collect(),
@@ -188,21 +233,49 @@ mod tests {
             frames: 4,
             trace: TraceKind::Proxy,
         }];
-        grid.scenario = Some(ScenarioSpec {
+        grid.scenarios = vec![ScenarioSpec {
             arrival: ArrivalSpec::Poisson { fps: 8.0 },
             frames_per_camera: 10,
             join_stagger_s: 0.5,
             session_s: None,
             tenant_slos_s: vec![0.8, 1.5],
-        });
+        }];
         let report = run_grid(&grid, 2);
         for cell in &report.cells {
             // Two cameras × 10 generated frames each.
             assert_eq!(cell.metrics.frames, 20, "cell {}", cell.index);
             assert!(cell.metrics.patches > 0);
+            // Two tenant classes stream side by side.
+            assert_eq!(cell.metrics.tenants.len(), 2, "cell {}", cell.index);
         }
         // The streaming path keeps the harness guarantee: parallel output
         // is byte-identical to sequential.
+        assert_eq!(run_grid(&grid, 1).to_json(), report.to_json());
+    }
+
+    #[test]
+    fn admission_axis_fans_out_and_always_admit_matches_the_batch_path() {
+        use crate::grid::AdmissionSpec;
+        let mut grid = micro_grid();
+        grid.name = "micro_admission".to_string();
+        grid.policies = vec![PolicyKind::Tangram];
+        let bare = run_grid(&grid, 2);
+        grid.admission = vec![
+            AdmissionSpec::Always,
+            AdmissionSpec::QueueDepth { max_queued: 0 },
+        ];
+        let report = run_grid(&grid, 2);
+        assert_eq!(report.cells.len(), 2 * bare.cells.len());
+        // AlwaysAdmit over replay sources reproduces the batch digest.
+        let always = &report.cells[0];
+        assert_eq!(always.admission.as_deref(), Some("always"));
+        assert_eq!(always.metrics, bare.cells[0].metrics);
+        // A zero-depth queue bound sheds everything.
+        let starved = &report.cells[1];
+        assert_eq!(starved.admission.as_deref(), Some("queue-depth"));
+        assert_eq!(starved.metrics.patches, 0);
+        assert!(starved.metrics.dropped_arrivals > 0);
+        // The admission path keeps the worker-count guarantee.
         assert_eq!(run_grid(&grid, 1).to_json(), report.to_json());
     }
 }

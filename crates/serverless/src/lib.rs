@@ -39,5 +39,7 @@ pub mod pricing;
 
 pub use function::FunctionSpec;
 pub use lb::{LeastUsed, LoadBalancer, RoundRobin};
-pub use platform::{InvocationOutcome, InvocationRequest, PlatformError, ServerlessPlatform};
+pub use platform::{
+    BackendSnapshot, InvocationOutcome, InvocationRequest, PlatformError, ServerlessPlatform,
+};
 pub use pricing::ResourcePrices;

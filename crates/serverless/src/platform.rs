@@ -86,6 +86,30 @@ struct Instance {
     invocations: u64,
 }
 
+/// A point-in-time reading of backend pressure — the signals an
+/// ingress admission policy consumes to decide whether an arriving work
+/// item can still be served in time.
+///
+/// Pure read: taking a snapshot never mutates the platform (no instance
+/// reaping, no RNG draws), so admission control cannot perturb the
+/// simulation of the work it admits.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BackendSnapshot {
+    /// Submitted invocations whose completion has not been acknowledged.
+    pub in_flight: usize,
+    /// Instances currently provisioned (warm or busy).
+    pub live_instances: usize,
+    /// The platform's instance cap (`None` = unlimited scale-out).
+    pub max_instances: Option<usize>,
+    /// When a batch submitted *now* would start executing: immediately on
+    /// an idle warm instance, after the mean cold-start delay on
+    /// scale-out, or queued behind the earliest-free instance at the cap.
+    pub earliest_start: SimTime,
+    /// Total remaining in-flight execution time (sum over invocations of
+    /// `finished - now`).
+    pub backlog: SimDuration,
+}
+
 /// Aggregate platform statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct PlatformStats {
@@ -316,10 +340,22 @@ impl ServerlessPlatform {
 
     /// Acknowledges the completion event of a previously [`Self::submit`]ted
     /// invocation, returning whether it was in flight.
+    ///
+    /// Ids are unique ([`InvocationId::bump`] never repeats), so the first
+    /// match is the only one; `swap_remove` keeps the ack O(1) — order is
+    /// irrelevant because [`Self::next_completion`] scans with `min`.
     pub fn complete(&mut self, id: InvocationId) -> bool {
-        let before = self.in_flight.len();
-        self.in_flight.retain(|(pending, _)| *pending != id);
-        self.in_flight.len() < before
+        match self
+            .in_flight
+            .iter()
+            .position(|&(pending, _)| pending == id)
+        {
+            Some(index) => {
+                self.in_flight.swap_remove(index);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Number of submitted invocations whose completion event has not yet
@@ -327,6 +363,46 @@ impl ServerlessPlatform {
     #[must_use]
     pub fn in_flight(&self) -> usize {
         self.in_flight.len()
+    }
+
+    /// Reads the backend-pressure signals at `now` (see
+    /// [`BackendSnapshot`]). Pure: never reaps instances or draws from
+    /// the RNG.
+    #[must_use]
+    pub fn snapshot(&self, now: SimTime) -> BackendSnapshot {
+        let live = |i: &&Instance| i.busy_until > now || i.expires_at > now;
+        let live_instances = self.instances.iter().filter(live).count();
+        let idle_warm = self
+            .instances
+            .iter()
+            .any(|i| i.busy_until <= now && i.expires_at > now);
+        let earliest_start = if idle_warm {
+            now
+        } else if self.max_instances.is_none_or(|cap| live_instances < cap) {
+            // Scale-out path: the expected cold-start delay stands in for
+            // the lognormal draw `submit` would make.
+            now + self.cold_start_mean
+        } else {
+            self.instances
+                .iter()
+                .filter(live)
+                .map(|i| i.busy_until)
+                .min()
+                .unwrap_or(now)
+                .max(now)
+        };
+        let backlog = self
+            .in_flight
+            .iter()
+            .map(|&(_, finished)| finished.since(now))
+            .sum();
+        BackendSnapshot {
+            in_flight: self.in_flight.len(),
+            live_instances,
+            max_instances: self.max_instances,
+            earliest_start,
+            backlog,
+        }
     }
 
     /// The earliest scheduled completion among in-flight invocations.
@@ -473,6 +549,69 @@ mod tests {
         assert!(!p.complete(a.id), "double-ack is a no-op");
         assert!(p.complete(b.id));
         assert_eq!(p.next_completion(), None);
+    }
+
+    #[test]
+    fn completing_an_unknown_id_is_a_no_op() {
+        let mut p = platform();
+        let a = p.submit(req(1, 0)).unwrap();
+        let b = p.submit(req(1, 0)).unwrap();
+        let stats_before = p.stats();
+        let next_before = p.next_completion();
+
+        // An id that was never issued: `bump` starts after the defaults,
+        // so a far-future raw id can never collide.
+        let unknown = InvocationId::new(u64::MAX);
+        assert!(!p.complete(unknown));
+
+        // Nothing moved: both invocations still in flight, same earliest
+        // completion, same counters.
+        assert_eq!(p.in_flight(), 2);
+        assert_eq!(p.next_completion(), next_before);
+        assert_eq!(p.stats(), stats_before);
+        assert!(p.complete(a.id));
+        assert!(p.complete(b.id));
+    }
+
+    #[test]
+    fn snapshot_reads_pressure_without_mutating() {
+        let mut p = platform();
+        assert_eq!(p.snapshot(SimTime::ZERO).in_flight, 0);
+        assert_eq!(p.snapshot(SimTime::ZERO).live_instances, 0);
+        // Empty platform: a submission would cold-start.
+        assert_eq!(
+            p.snapshot(SimTime::ZERO).earliest_start,
+            SimTime::ZERO + p.cold_start_mean
+        );
+
+        let a = p.submit(req(1, 0)).unwrap();
+        let snap = p.snapshot(SimTime::ZERO);
+        assert_eq!(snap.in_flight, 1);
+        assert_eq!(snap.live_instances, 1);
+        assert_eq!(snap.backlog, a.finished.since(SimTime::ZERO));
+        // Instance busy, but scale-out is open below the cap.
+        assert_eq!(snap.earliest_start, SimTime::ZERO + p.cold_start_mean);
+
+        // Saturate the cap: a new submission queues on the earliest-free
+        // instance.
+        p.max_instances = Some(1);
+        let capped = p.snapshot(SimTime::ZERO);
+        assert_eq!(capped.earliest_start, a.finished);
+
+        // After completion the warm instance is idle: start is immediate.
+        assert!(p.complete(a.id));
+        let idle = p.snapshot(a.finished);
+        assert_eq!(idle.in_flight, 0);
+        assert_eq!(idle.backlog, SimDuration::ZERO);
+        assert_eq!(idle.earliest_start, a.finished);
+
+        // Snapshots are pure: sampling state (and thus the next outcome)
+        // is untouched by any number of reads.
+        let mut fresh = platform();
+        let _ = fresh.snapshot(SimTime::ZERO);
+        let via_snapshots = fresh.invoke(req(3, 0)).unwrap();
+        let direct = platform().invoke(req(3, 0)).unwrap();
+        assert_eq!(via_snapshots, direct);
     }
 
     #[test]

@@ -67,13 +67,13 @@ fn churn_scenario_grid_is_parallel_deterministic() {
     // Shorten the sessions so churn is guaranteed to bite: ~6 fps for
     // 3 s ≈ 18 frames per camera, well under the 40-frame budget (and
     // cheap enough for a debug-build test).
-    grid.scenario.as_mut().expect("streaming grid").session_s = Some(3.0);
+    grid.scenarios[0].session_s = Some(3.0);
     let sequential = run_grid(&grid, 1);
     let parallel = run_grid(&grid, 4);
     assert_eq!(sequential.to_json(), parallel.to_json());
 
     let parsed = BenchReport::from_json(&sequential.to_json()).expect("valid BENCH json");
-    assert_eq!(parsed.grid.scenario, grid.scenario);
+    assert_eq!(parsed.grid.scenarios, grid.scenarios);
     assert_eq!(parsed.to_json(), sequential.to_json());
     // Churn truncates: every camera leaves before reaching its budget,
     // so strictly fewer frames complete than cameras × budget.
@@ -86,5 +86,79 @@ fn churn_scenario_grid_is_parallel_deterministic() {
             cell.index,
             cell.metrics.frames
         );
+    }
+}
+
+#[test]
+fn overload_grid_is_parallel_deterministic_and_sheds_under_slo_shedder() {
+    // The overload sweep (scenario axis × admission axis) must hold the
+    // worker-count guarantee like every other grid — and its whole point
+    // is that shedding is *visible*: the SLO-shedder cells past the
+    // capacity knee record non-zero drops, per tenant class, in the
+    // serialized report.
+    let grid = tangram_harness::presets::overload_grid(42, 12, true);
+    assert_eq!(
+        grid.cell_count(),
+        grid.scenarios.len() * grid.admission.len()
+    );
+    let sequential = run_grid(&grid, 1);
+    let parallel = run_grid(&grid, 4);
+    assert_eq!(sequential.to_json(), parallel.to_json());
+
+    let parsed = BenchReport::from_json(&sequential.to_json()).expect("valid BENCH json");
+    assert_eq!(parsed.grid.scenarios, grid.scenarios);
+    assert_eq!(parsed.grid.admission, grid.admission);
+    assert_eq!(parsed.to_json(), sequential.to_json());
+
+    for cell in &parsed.cells {
+        // Multi-scenario grids stamp both axes on every cell.
+        assert!(cell.scenario.is_some(), "cell {}", cell.index);
+        assert!(cell.admission.is_some(), "cell {}", cell.index);
+        // Gold and best-effort are accounted separately.
+        assert_eq!(cell.metrics.tenants.len(), 2, "cell {}", cell.index);
+        let drops: u64 = cell.metrics.tenants.iter().map(|t| t.dropped).sum();
+        assert_eq!(
+            drops, cell.metrics.dropped_arrivals,
+            "cell {}: per-class drops must sum to the total",
+            cell.index
+        );
+        if cell.admission.as_deref() == Some("always") {
+            assert_eq!(cell.metrics.dropped_arrivals, 0, "cell {}", cell.index);
+        }
+    }
+    // The overloaded SLO-shedder cell sheds — and the drops are visible.
+    let shed: Vec<_> = parsed
+        .cells
+        .iter()
+        .filter(|c| c.admission.as_deref() == Some("slo-shedder"))
+        .collect();
+    assert!(
+        shed.iter().any(|c| c.metrics.dropped_arrivals > 0),
+        "the overload ramp must push the shedder past its threshold"
+    );
+}
+
+#[test]
+fn legacy_grid_emission_is_byte_stable_under_the_new_axes() {
+    // PR 4 turned `scenario: Option<ScenarioSpec>` into the `scenarios`
+    // axis (plus `admission`). Legacy shapes must keep their exact
+    // serialization: no key at all without scenarios, the singular
+    // `"scenario"` object form with exactly one, and no admission key
+    // without an admission axis — so pre-existing BENCH consumers and
+    // checked-in baselines only change where drop accounting was added.
+    let plain = run_grid(&two_axis_grid(), 2).to_json();
+    assert!(!plain.contains("\"scenario"));
+    assert!(!plain.contains("\"admission\""));
+
+    let single = run_grid(&tangram_harness::presets::churn_grid(42, 6), 2).to_json();
+    assert!(single.contains("\"scenario\": {"));
+    assert!(!single.contains("\"scenarios\""));
+    assert!(!single.contains("\"admission\""));
+    // Single-scenario cells carry no per-cell scenario index either: the
+    // cell keys are exactly the legacy eight.
+    let parsed = BenchReport::from_json(&single).expect("valid BENCH json");
+    for cell in &parsed.cells {
+        assert_eq!(cell.scenario, None);
+        assert_eq!(cell.admission, None);
     }
 }
