@@ -178,8 +178,17 @@ impl SloShedder {
     }
 
     /// Predicted completion of an item admitted at `now`: the backend's
-    /// earliest feasible start, plus the standing queue and the item
-    /// itself drained at `per_item / parallelism`.
+    /// earliest feasible start, plus the standing queue, the item itself
+    /// *and* the backend's residual in-flight backlog drained at
+    /// `per_item / parallelism`.
+    ///
+    /// `earliest_start` only says when the *first* slot frees; if the
+    /// pool were uniformly busy until then it would absorb
+    /// `parallelism × (earliest_start − now)` of work, so any in-flight
+    /// backlog beyond that horizon (a staggered or deep backlog — or one
+    /// invisible to `earliest_start` entirely because a warm instance
+    /// happens to be idle) still stands between the queued items and the
+    /// GPU and is folded into the drain estimate.
     #[must_use]
     pub fn predicted_completion(&self, now: SimTime, signals: &AdmissionSignals) -> SimTime {
         let parallelism = signals
@@ -187,10 +196,12 @@ impl SloShedder {
             .max_instances
             .unwrap_or_else(|| signals.backend.live_instances.max(1))
             .max(1);
-        let drain = self
-            .per_item
-            .mul_f64((signals.queued + 1) as f64 / parallelism as f64);
-        signals.backend.earliest_start.max(now) + drain
+        let start = signals.backend.earliest_start.max(now);
+        let covered = start.since(now).mul_f64(parallelism as f64);
+        let residual_backlog = signals.backend.backlog.saturating_sub(covered);
+        let drain = (self.per_item.mul_f64((signals.queued + 1) as f64) + residual_backlog)
+            .mul_f64(1.0 / parallelism as f64);
+        start + drain
     }
 }
 
@@ -366,6 +377,38 @@ mod tests {
         assert_eq!(
             policy.predicted_completion(SimTime::ZERO, &s),
             SimTime::from_micros(800_000)
+        );
+    }
+
+    #[test]
+    fn shedder_folds_backend_backlog_into_the_drain_estimate() {
+        let policy = SloShedder::new(SimDuration::from_millis(50));
+        // Empty scheduler queue, an idle warm instance (earliest start =
+        // now), but 8 s of in-flight work across the 4-way pool: the
+        // backlog — invisible to `earliest_start` — must still appear in
+        // the drain. 8 s / 4 instances + 50 ms / 4 = 2.0125 s.
+        let mut s = signals(0, 0, Some(4));
+        s.backend.backlog = SimDuration::from_secs(8);
+        assert_eq!(
+            policy.predicted_completion(SimTime::ZERO, &s),
+            SimTime::from_micros(2_012_500)
+        );
+        // The same deep backlog dooms an 800 ms-SLO arrival outright.
+        let mut shedder = SloShedder::new(SimDuration::from_millis(50))
+            .with_classes(&[SimDuration::from_millis(800)]);
+        assert_eq!(
+            shedder.admit(SimTime::ZERO, &arrival(0, 800), &s),
+            Admission::Drop,
+            "a deep backlog with an empty scheduler queue must shed"
+        );
+        // Backlog already covered by a capped backend's earliest start is
+        // not double-counted: 4 instances busy until 1 s carry 4 s of
+        // work; prediction stays earliest_start + the item's own drain.
+        let mut capped = signals(0, 1_000_000, Some(4));
+        capped.backend.backlog = SimDuration::from_secs(4);
+        assert_eq!(
+            policy.predicted_completion(SimTime::ZERO, &capped),
+            SimTime::from_micros(1_012_500)
         );
     }
 

@@ -100,6 +100,12 @@ pub struct EngineConfig {
     /// Physical instance cap of the backend (the paper's testbed runs two
     /// RTX 4090s; `None` = unlimited scale-out).
     pub max_instances: Option<usize>,
+    /// Admission-aware Tangram scheduling: the scheduler reads the
+    /// ingress load signals and will not dispatch before the backend's
+    /// predicted earliest start (see
+    /// [`crate::scheduler::SchedulerConfig::admission_aware`]). Off by
+    /// default — legacy runs stay byte-identical.
+    pub scheduler_admission_aware: bool,
     /// Experiment seed.
     pub seed: u64,
 }
@@ -119,6 +125,7 @@ impl Default for EngineConfig {
             mark_timeout: None,
             sigma_multiplier: 3.0,
             max_instances: Some(4),
+            scheduler_admission_aware: false,
             seed: 1,
         }
     }
@@ -142,6 +149,7 @@ impl EngineConfig {
                     SchedulerConfig {
                         canvas_size: self.canvas_size,
                         max_canvases: max_batch,
+                        admission_aware: self.scheduler_admission_aware,
                     },
                     estimator,
                 ))

@@ -23,6 +23,11 @@
 //!   thresholds, and the SLO-aware [`admission::SloShedder`] that sheds
 //!   doomed work and lower-class tenants first under overload, with
 //!   per-tenant drop accounting in the run report;
+//! * [`fairness`] — the weighted deficit-round-robin fair ingress
+//!   ([`fairness::DrrIngress`]): per-tenant-class bounded queues sitting
+//!   between admission and the scheduler, served by dequeue ticks in the
+//!   configured weight ratio so the admitted mix under overload tracks
+//!   the weights instead of collapsing to the tightest class;
 //! * [`engine`] — the batch entry point ([`engine::EngineConfig::run`]):
 //!   cameras → edge partitioning → uplink → scheduler → serverless
 //!   platform, producing a [`report::RunReport`] with per-patch
@@ -55,6 +60,7 @@
 
 pub mod admission;
 pub mod engine;
+pub mod fairness;
 pub mod online;
 pub mod policy;
 pub mod report;
@@ -67,6 +73,7 @@ pub use admission::{
     QueueDepthThreshold, SloShedder,
 };
 pub use engine::{EngineConfig, PolicyKind};
+pub use fairness::{DrrConfig, DrrIngress};
 pub use online::{
     ArrivalProcess, CameraSource, GeneratedSource, OnlineEngine, StreamEvent, TenantClass,
     TraceReplaySource,

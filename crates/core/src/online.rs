@@ -29,6 +29,7 @@
 
 use crate::admission::{AdmissionPolicy, AdmissionSignals, ClosureAdmission};
 use crate::engine::EngineConfig;
+use crate::fairness::DrrIngress;
 use crate::policy::{Arrival, BatchSpec, BatchingPolicy, CompletionFeedback, FrameArrival};
 use crate::report::{BatchRecord, PatchRecord, RunReport};
 use crate::workload::{CameraTrace, TraceFrame};
@@ -66,6 +67,12 @@ pub enum StreamEvent {
     },
     /// A policy wake-up (the scheduler's armed `t_remain`).
     InvokeTimer,
+    /// A fair-ingress dequeue tick: the engine's
+    /// [`crate::fairness::DrrIngress`] runs one weighted service round
+    /// and releases the earned items to the batching policy. Re-armed
+    /// every [`crate::fairness::DrrConfig::tick`] while the ingress holds
+    /// work.
+    DrrTick,
     /// A previously submitted serverless invocation finished.
     FunctionComplete {
         /// The platform's invocation id, acknowledged on delivery.
@@ -361,6 +368,19 @@ pub struct OnlineEngine {
     events: EventLoop<StreamEvent>,
     cameras: Vec<CameraSlot>,
     admission: Option<Box<dyn AdmissionPolicy>>,
+    /// Weighted-DRR fair ingress between admission and the policy.
+    ingress: Option<DrrIngress>,
+    /// Whether a [`StreamEvent::DrrTick`] is already scheduled.
+    drr_armed: bool,
+    /// When the last DRR service round ran — rounds keep the configured
+    /// cadence even across idle gaps, so the tick interval is a genuine
+    /// service-rate bound rather than a best case.
+    drr_last_round: Option<SimTime>,
+    /// Whether the batching policy reads ingress load signals
+    /// (admission-aware scheduling): when set, a fresh
+    /// [`AdmissionSignals`] snapshot is fed to the policy before its
+    /// arrivals even if no admission policy is installed.
+    policy_reads_signals: bool,
     frame_interval: SimDuration,
     patch_records: Vec<PatchRecord>,
     batch_records: Vec<BatchRecord>,
@@ -394,6 +414,10 @@ impl OnlineEngine {
             events: EventLoop::new(),
             cameras: Vec::new(),
             admission: None,
+            ingress: None,
+            drr_armed: false,
+            drr_last_round: None,
+            policy_reads_signals: config.scheduler_admission_aware,
             frame_interval: SimDuration::from_secs_f64(1.0 / config.max_fps),
             patch_records: Vec::new(),
             batch_records: Vec::new(),
@@ -436,6 +460,16 @@ impl OnlineEngine {
         self.admission = Some(Box::new(ClosureAdmission::new(hook)));
     }
 
+    /// Installs a weighted-DRR fair-ingress stage between admission and
+    /// the batching policy. Admitted arrivals queue per tenant class and
+    /// are released by [`StreamEvent::DrrTick`] service rounds in the
+    /// configured weight ratio; overflow is shed and counted per class
+    /// like any other ingress drop. Without one, admitted arrivals reach
+    /// the policy directly.
+    pub fn set_fair_ingress(&mut self, ingress: DrrIngress) {
+        self.ingress = Some(ingress);
+    }
+
     /// Drives the event loop to quiescence and reports the run.
     ///
     /// # Panics
@@ -467,6 +501,16 @@ impl OnlineEngine {
             frames: self.frames_injected,
             dropped_arrivals: self.dropped_arrivals,
             dropped_by_slo: self.dropped_by_slo,
+            ingress_peak_depth: self
+                .ingress
+                .as_ref()
+                .map(DrrIngress::peak_depths)
+                .unwrap_or_default(),
+            ingress_admitted: self
+                .ingress
+                .as_ref()
+                .map(DrrIngress::admitted_by_class)
+                .unwrap_or_default(),
             transmission_busy: self.transmission_busy,
             makespan: self.events.now().since(SimTime::ZERO),
         }
@@ -487,24 +531,87 @@ impl OnlineEngine {
                 }
             }
             StreamEvent::PatchArrival { arrival } => {
-                if let Some(policy) = self.admission.as_mut() {
-                    let signals = AdmissionSignals {
-                        queued: self.queued,
+                // One snapshot serves both consumers: the admission
+                // policy's verdict and the batching policy's
+                // admission-aware timing.
+                let signals = (self.admission.is_some() || self.policy_reads_signals).then(|| {
+                    AdmissionSignals {
+                        // Fair-ingress residents are admitted-but-not-
+                        // dispatched work too: without them the shedder
+                        // would admit arrivals already doomed by ingress
+                        // queueing delay.
+                        queued: self.queued + self.ingress.as_ref().map_or(0, DrrIngress::backlog),
                         backend: self.platform.snapshot(now),
-                    };
-                    if policy.admit(now, &arrival, &signals) == Admission::Drop {
-                        self.dropped_arrivals += 1;
-                        let slo = arrival.info().slo;
-                        match self.dropped_by_slo.binary_search_by_key(&slo, |&(s, _)| s) {
-                            Ok(at) => self.dropped_by_slo[at].1 += 1,
-                            Err(at) => self.dropped_by_slo.insert(at, (slo, 1)),
-                        }
+                    }
+                });
+                if let Some(policy) = self.admission.as_mut() {
+                    let signals = signals.as_ref().expect("signals built for admission");
+                    if policy.admit(now, &arrival, signals) == Admission::Drop {
+                        self.count_drop(arrival.info().slo);
                         return;
                     }
                 }
-                self.queued += 1;
-                let output = self.policy.on_arrival(now, arrival);
-                self.apply(now, output.dispatches, output.next_wake);
+                if self.policy_reads_signals {
+                    let signals = signals.as_ref().expect("signals built for the policy");
+                    self.policy.on_signals(now, signals);
+                }
+                match self.ingress.as_mut() {
+                    // No fair ingress: admitted arrivals reach the policy
+                    // directly (the legacy path, byte-identical).
+                    None => {
+                        self.queued += 1;
+                        let output = self.policy.on_arrival(now, arrival);
+                        self.apply(now, output.dispatches, output.next_wake);
+                    }
+                    Some(ingress) => {
+                        let tick = ingress.tick();
+                        match ingress.enqueue(arrival) {
+                            Ok(()) => {
+                                if !self.drr_armed {
+                                    self.drr_armed = true;
+                                    // The very first round fires
+                                    // immediately; afterwards rounds hold
+                                    // the tick cadence even across idle
+                                    // gaps, so the ingress service rate
+                                    // stays bounded.
+                                    let at = self
+                                        .drr_last_round
+                                        .map_or(now, |last| (last + tick).max(now));
+                                    self.events.schedule(at, StreamEvent::DrrTick);
+                                }
+                            }
+                            // Overflow: shed at the ingress, charged to
+                            // the arrival's own class.
+                            Err(shed) => self.count_drop(shed.info().slo),
+                        }
+                    }
+                }
+            }
+            StreamEvent::DrrTick => {
+                let Some(ingress) = self.ingress.as_mut() else {
+                    return;
+                };
+                self.drr_last_round = Some(now);
+                let released = ingress.service_round();
+                let backlog = ingress.backlog();
+                let tick = ingress.tick();
+                if self.policy_reads_signals && !released.is_empty() {
+                    let signals = AdmissionSignals {
+                        queued: self.queued + backlog,
+                        backend: self.platform.snapshot(now),
+                    };
+                    self.policy.on_signals(now, &signals);
+                }
+                for arrival in released {
+                    self.queued += 1;
+                    let output = self.policy.on_arrival(now, arrival);
+                    self.apply(now, output.dispatches, output.next_wake);
+                }
+                if backlog > 0 {
+                    self.events.schedule(now + tick, StreamEvent::DrrTick);
+                } else {
+                    self.drr_armed = false;
+                }
             }
             StreamEvent::InvokeTimer => {
                 let output = self.policy.on_tick(now);
@@ -515,6 +622,16 @@ impl OnlineEngine {
                 let output = self.policy.on_completion(now, feedback);
                 self.apply(now, output.dispatches, output.next_wake);
             }
+        }
+    }
+
+    /// Counts one ingress drop (admission or fair-ingress overflow)
+    /// against the arrival's tenant class.
+    fn count_drop(&mut self, slo: SimDuration) {
+        self.dropped_arrivals += 1;
+        match self.dropped_by_slo.binary_search_by_key(&slo, |&(s, _)| s) {
+            Ok(at) => self.dropped_by_slo[at].1 += 1,
+            Err(at) => self.dropped_by_slo.insert(at, (slo, 1)),
         }
     }
 
@@ -852,6 +969,143 @@ mod tests {
             gold_row.dropped + lax_row.dropped,
             "per-class drops sum to the total"
         );
+    }
+
+    fn drr_ingress(weights: &[f64], capacity: usize) -> crate::fairness::DrrIngress {
+        use crate::fairness::{DrrConfig, DrrIngress};
+        DrrIngress::new(&DrrConfig {
+            classes: vec![
+                (SimDuration::from_millis(800), weights[0]),
+                (SimDuration::from_millis(1500), weights[1]),
+            ],
+            queue_capacity: capacity,
+            quantum: 1.0,
+            tick: SimDuration::from_millis(20),
+        })
+    }
+
+    /// Two gold and two best-effort cameras at roughly 2× the DRR service
+    /// rate: the admitted mix must track the 3:1 weights instead of
+    /// collapsing to one class, and the per-class queue peaks must land
+    /// in the report.
+    #[test]
+    fn fair_ingress_holds_weighted_shares_under_overload() {
+        let gold = TenantClass::new("gold", SimDuration::from_millis(800));
+        let lax = TenantClass::new("best-effort", SimDuration::from_millis(1500));
+        // A wide uplink so the ingress — not the link — is the limiter:
+        // ~500 patches/s offered against a 200 item/s DRR service rate.
+        let mut cfg = config(PolicyKind::Tangram);
+        cfg.bandwidth_mbps = 200.0;
+        let mut engine = OnlineEngine::new(&cfg);
+        for (i, tenant) in [&gold, &lax, &gold, &lax].into_iter().enumerate() {
+            engine.add_camera_at(
+                SimTime::ZERO,
+                Box::new(poisson_source(1 + i as u8, 60, 16.0, 31 + i as u64).with_tenant(tenant)),
+            );
+        }
+        engine.set_fair_ingress(drr_ingress(&[3.0, 1.0], 32));
+        let report = engine.run();
+        let tenants = report.tenant_breakdown();
+        assert_eq!(tenants.len(), 2);
+        let (gold_row, lax_row) = (&tenants[0], &tenants[1]);
+        assert!(lax_row.dropped > 0, "overload must overflow best-effort");
+        let admitted = (gold_row.admitted + lax_row.admitted) as f64;
+        let gold_share = gold_row.admitted as f64 / admitted;
+        assert!(
+            (gold_share - 0.75).abs() < 0.075,
+            "admitted gold share {gold_share:.3} should track weight 3/4"
+        );
+        assert_eq!(
+            gold_row.admitted + gold_row.dropped,
+            report
+                .ingress_admitted
+                .iter()
+                .find(|&&(slo, _)| slo == gold.slo)
+                .map(|&(_, n)| n)
+                .unwrap()
+                + gold_row.dropped,
+            "admitted + dropped accounts every gold arrival"
+        );
+        // Per-class queue-depth accounting reaches the report: the
+        // overflowing class peaks at its capacity bound.
+        assert_eq!(report.ingress_peak_depth.len(), 2);
+        assert_eq!(lax_row.peak_queued, 8, "best-effort pins its buffer slice");
+        assert!(gold_row.peak_queued > 0);
+        // Overflow sheds are ingress drops like any other.
+        assert_eq!(report.dropped_arrivals, gold_row.dropped + lax_row.dropped);
+        let summary = report.summarize();
+        assert_eq!(summary.tenants, tenants);
+    }
+
+    /// An uncongested DRR ingress is (almost) invisible: nothing sheds,
+    /// every patch completes, and the run drains fully at end of stream.
+    #[test]
+    fn fair_ingress_is_transparent_below_capacity() {
+        let cfg = config(PolicyKind::Tangram);
+        let bare = {
+            let mut engine = OnlineEngine::new(&cfg);
+            engine.add_camera_at(SimTime::ZERO, Box::new(poisson_source(1, 20, 4.0, 17)));
+            engine.run()
+        };
+        let fair = {
+            use crate::fairness::{DrrConfig, DrrIngress};
+            let mut engine = OnlineEngine::new(&cfg);
+            engine.add_camera_at(SimTime::ZERO, Box::new(poisson_source(1, 20, 4.0, 17)));
+            // One class (the engine default SLO) owning the whole buffer.
+            engine.set_fair_ingress(DrrIngress::new(&DrrConfig {
+                classes: vec![(cfg.slo, 1.0)],
+                queue_capacity: 64,
+                quantum: 1.0,
+                tick: SimDuration::from_millis(20),
+            }));
+            engine.run()
+        };
+        assert_eq!(fair.dropped_arrivals, 0);
+        assert_eq!(
+            fair.patches_completed(),
+            bare.patches_completed(),
+            "every admitted patch must drain through the DRR stage"
+        );
+        assert_eq!(fair.frames, bare.frames);
+    }
+
+    /// With both stages installed, admitted-but-unreleased work sitting
+    /// in the DRR queues must count toward the admission policy's
+    /// queue-depth signal — otherwise the shedder admits arrivals that
+    /// are already doomed by ingress queueing delay.
+    #[test]
+    fn admission_signals_include_fair_ingress_backlog() {
+        use crate::admission::QueueDepthThreshold;
+        use crate::fairness::{DrrConfig, DrrIngress};
+        let cfg = config(PolicyKind::Tangram);
+        let mut engine = OnlineEngine::new(&cfg);
+        engine.add_camera_at(SimTime::ZERO, Box::new(poisson_source(1, 20, 16.0, 19)));
+        engine.set_admission_policy(Box::new(QueueDepthThreshold::new(5)));
+        // A crawling single-class ingress: its standing queue, not the
+        // scheduler's, is where admitted-but-undispatched work piles up.
+        engine.set_fair_ingress(DrrIngress::new(&DrrConfig {
+            classes: vec![(cfg.slo, 1.0)],
+            queue_capacity: 1000,
+            quantum: 1.0,
+            tick: SimDuration::from_millis(200),
+        }));
+        let report = engine.run();
+        assert!(
+            report.dropped_arrivals > 0,
+            "queue-depth admission must see the ingress backlog"
+        );
+    }
+
+    #[test]
+    fn fair_ingress_runs_are_deterministic() {
+        let run = || {
+            let mut engine = OnlineEngine::new(&config(PolicyKind::Tangram));
+            engine.add_camera_at(SimTime::ZERO, Box::new(poisson_source(1, 40, 16.0, 23)));
+            engine.add_camera_at(SimTime::ZERO, Box::new(poisson_source(2, 40, 16.0, 24)));
+            engine.set_fair_ingress(drr_ingress(&[3.0, 1.0], 8));
+            engine.run().summarize()
+        };
+        assert_eq!(run(), run(), "same seed, same digest, sheds included");
     }
 
     #[test]

@@ -125,6 +125,14 @@ pub trait BatchingPolicy {
     /// Display name (report tables).
     fn name(&self) -> &'static str;
 
+    /// Fresh ingress load signals, observed just before the arrivals they
+    /// accompany. The default ignores them; admission-aware policies
+    /// (e.g. [`crate::scheduler::TangramScheduler`] with
+    /// [`crate::scheduler::SchedulerConfig::admission_aware`] set) fold
+    /// the backend's predicted drain into their invoke-now-vs-wait
+    /// decision.
+    fn on_signals(&mut self, _now: SimTime, _signals: &crate::admission::AdmissionSignals) {}
+
     /// A work item arrived at the scheduler.
     fn on_arrival(&mut self, now: SimTime, arrival: Arrival) -> PolicyOutput;
 

@@ -79,8 +79,16 @@ pub struct RunReport {
     /// policy (always zero for trace replay without one).
     pub dropped_arrivals: u64,
     /// Admission drops per tenant class, keyed by the class SLO,
-    /// ascending. Sums to `dropped_arrivals`.
+    /// ascending. Sums to `dropped_arrivals` (fair-ingress overflow sheds
+    /// included).
     pub dropped_by_slo: Vec<(SimDuration, u64)>,
+    /// Peak fair-ingress (DRR) queue depth per tenant class, keyed by the
+    /// class SLO, ascending. Empty when no fair ingress is installed.
+    pub ingress_peak_depth: Vec<(SimDuration, u64)>,
+    /// Arrivals admitted through the fair ingress per tenant class, keyed
+    /// by the class SLO, ascending — the admitted traffic mix the DRR
+    /// weights shape. Empty when no fair ingress is installed.
+    pub ingress_admitted: Vec<(SimDuration, u64)>,
     /// Total wire time spent transmitting (Fig. 14c's breakdown).
     pub transmission_busy: SimDuration,
     /// Simulated makespan of the run.
@@ -240,6 +248,8 @@ impl RunReport {
                             patches: 0,
                             violations: 0,
                             dropped: 0,
+                            admitted: 0,
+                            peak_queued: 0,
                         },
                     );
                     at
@@ -257,6 +267,14 @@ impl RunReport {
         for &(slo, dropped) in &self.dropped_by_slo {
             let at = row(&mut rows, slo);
             rows[at].dropped += dropped;
+        }
+        for &(slo, peak) in &self.ingress_peak_depth {
+            let at = row(&mut rows, slo);
+            rows[at].peak_queued = peak;
+        }
+        for &(slo, admitted) in &self.ingress_admitted {
+            let at = row(&mut rows, slo);
+            rows[at].admitted = admitted;
         }
         rows
     }
@@ -322,7 +340,7 @@ impl RunReport {
 
 /// One tenant class's slice of a run: completions, violations and
 /// admission drops for every patch stamped with the same SLO.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct TenantSummary {
     /// The class SLO, seconds (tenant identity: every camera of a class
     /// stamps the same SLO).
@@ -331,8 +349,16 @@ pub struct TenantSummary {
     pub patches: u64,
     /// Completed patches of this class that missed the SLO.
     pub violations: u64,
-    /// Arrivals of this class shed at the ingress.
+    /// Arrivals of this class shed at the ingress (admission drops and
+    /// fair-ingress overflow sheds combined).
     pub dropped: u64,
+    /// Arrivals of this class admitted through the fair ingress — the
+    /// weighted mix the DRR shapes (0 when no fair ingress is installed;
+    /// counts pre-tiling arrivals, so it can differ from `patches`).
+    pub admitted: u64,
+    /// Peak fair-ingress (DRR) queue depth of this class (0 when no fair
+    /// ingress is installed).
+    pub peak_queued: u64,
 }
 
 /// The scalar digest of one [`RunReport`] — every metric a sweep cell
@@ -418,6 +444,8 @@ mod tests {
             frames: 1,
             dropped_arrivals: 0,
             dropped_by_slo: vec![],
+            ingress_peak_depth: vec![],
+            ingress_admitted: vec![],
             transmission_busy: SimDuration::ZERO,
             makespan: SimDuration::from_secs(1),
         }

@@ -26,7 +26,7 @@ use tangram_stitch::canvas::Canvas;
 use tangram_stitch::solver::{split_to_fit, PatchStitchingSolver};
 use tangram_types::geometry::Size;
 use tangram_types::patch::PatchInfo;
-use tangram_types::time::SimTime;
+use tangram_types::time::{SimDuration, SimTime};
 
 /// Static configuration of the Tangram scheduler.
 #[derive(Debug, Clone)]
@@ -36,16 +36,25 @@ pub struct SchedulerConfig {
     /// Maximum canvases one invocation may carry (constraint (5):
     /// `w·Σy + τ ≤ m_G`).
     pub max_canvases: usize,
+    /// Admission-aware invoke timing: when set, the scheduler consults
+    /// the ingress load signals (fed through
+    /// [`crate::policy::BatchingPolicy::on_signals`]) and refuses to
+    /// dispatch before the backend's predicted earliest start —
+    /// dispatching a batch the backend cannot begin yet buys nothing,
+    /// while waiting lets more patches join the canvases. Off (the
+    /// default) reproduces Algorithm 2 byte-for-byte.
+    pub admission_aware: bool,
 }
 
 impl SchedulerConfig {
     /// The paper's defaults: 1024×1024 canvases, batch bound from the
-    /// 6 GB-GPU function spec (9 canvases).
+    /// 6 GB-GPU function spec (9 canvases), admission-blind timing.
     #[must_use]
     pub fn paper_default() -> Self {
         Self {
             canvas_size: Size::CANVAS_1024,
             max_canvases: 9,
+            admission_aware: false,
         }
     }
 }
@@ -61,6 +70,9 @@ pub struct TangramScheduler {
     canvases: Vec<Canvas>,
     /// Armed invoke-by instant (`t_remain`), if any.
     invoke_by: Option<SimTime>,
+    /// Latest observed backend earliest-start (admission-aware mode only;
+    /// `None` until the first signal arrives).
+    backend_free_at: Option<SimTime>,
 }
 
 impl TangramScheduler {
@@ -89,6 +101,7 @@ impl TangramScheduler {
             queue: Vec::new(),
             canvases: Vec::new(),
             invoke_by: None,
+            backend_free_at: None,
         }
     }
 
@@ -164,6 +177,36 @@ impl TangramScheduler {
             .collect()
     }
 
+    /// Admission-aware wait extension: while the backend cannot start a
+    /// batch before `backend_free_at`, dispatching earlier buys nothing —
+    /// execution begins at the same instant either way — so the invoke-by
+    /// deadline is pushed out to that instant, letting more patches join
+    /// the canvases for free. The extension applies only while *every*
+    /// queued patch is already doomed (its deadline unreachable even from
+    /// the backend-free instant): a feasible patch must never be dragged
+    /// past its own slack by doomed queue-mates, and for feasible work
+    /// the SLO-driven `t_remain` always governs. A no-op in the default
+    /// (admission-blind) configuration.
+    fn effective_invoke_by(&self, now: SimTime, invoke_by: SimTime, slack: SimDuration) -> SimTime {
+        if !self.config.admission_aware {
+            return invoke_by;
+        }
+        let Some(free) = self.backend_free_at.filter(|&free| free > now) else {
+            return invoke_by;
+        };
+        let all_doomed = self
+            .queue
+            .iter()
+            .map(PatchInfo::deadline)
+            .max()
+            .is_some_and(|latest| free + slack >= latest);
+        if all_doomed {
+            invoke_by.max(free)
+        } else {
+            invoke_by
+        }
+    }
+
     fn admit(&mut self, now: SimTime, patch: PatchInfo, out: &mut PolicyOutput) {
         // Lines 5–10: append, re-stitch, re-estimate.
         self.queue.push(patch);
@@ -182,6 +225,7 @@ impl TangramScheduler {
         } else {
             SimTime::ZERO
         };
+        let invoke_by = self.effective_invoke_by(now, invoke_by, slack);
 
         let over_memory = canvases.len() > self.config.max_canvases;
         let too_late = invoke_by <= now;
@@ -207,6 +251,7 @@ impl TangramScheduler {
             } else {
                 SimTime::ZERO
             };
+            let invoke_by = self.effective_invoke_by(now, invoke_by, slack);
             self.canvases = canvases;
             if invoke_by <= now {
                 // Even alone the patch cannot meet its SLO; sending it
@@ -247,6 +292,12 @@ impl TangramScheduler {
 impl BatchingPolicy for TangramScheduler {
     fn name(&self) -> &'static str {
         "Tangram"
+    }
+
+    fn on_signals(&mut self, now: SimTime, signals: &crate::admission::AdmissionSignals) {
+        if self.config.admission_aware {
+            self.backend_free_at = Some(signals.backend.earliest_start.max(now));
+        }
     }
 
     fn on_arrival(&mut self, now: SimTime, arrival: Arrival) -> PolicyOutput {
@@ -430,6 +481,99 @@ mod tests {
         let out = s.on_timer(t(50));
         assert!(out.dispatches.is_empty());
         assert_eq!(out.next_wake, None);
+    }
+
+    fn aware_scheduler() -> TangramScheduler {
+        let estimator = LatencyEstimator::paper_default(
+            &InferenceLatencyModel::rtx4090_yolov8x(),
+            Size::CANVAS_1024,
+            9,
+        );
+        let config = SchedulerConfig {
+            admission_aware: true,
+            ..SchedulerConfig::paper_default()
+        };
+        TangramScheduler::new(config, estimator)
+    }
+
+    fn signals(earliest_start_ms: u64) -> crate::admission::AdmissionSignals {
+        crate::admission::AdmissionSignals {
+            queued: 0,
+            backend: tangram_serverless::platform::BackendSnapshot {
+                in_flight: 0,
+                live_instances: 1,
+                max_instances: Some(1),
+                earliest_start: t(earliest_start_ms),
+                backlog: SimDuration::ZERO,
+            },
+        }
+    }
+
+    #[test]
+    fn admission_aware_scheduler_waits_for_a_saturated_backend() {
+        let mut s = aware_scheduler();
+        // Backend saturated until t = 2 s.
+        s.on_signals(t(0), &signals(2000));
+        // The patch's own invoke-by (~890 ms) is earlier than the backend
+        // can start: the timer extends to the backend-free instant.
+        let out = s.on_patch(t(0), patch(1, 300, 300, 0, 1000));
+        assert!(out.dispatches.is_empty());
+        assert_eq!(out.next_wake, Some(t(2000)));
+        // A second patch whose deadline has already passed would normally
+        // force an immediate dispatch (lines 11–17); aware of the
+        // saturated backend, the scheduler keeps batching — execution
+        // cannot begin before 2 s either way.
+        let out = s.on_patch(t(1900), patch(2, 300, 300, 0, 1000));
+        assert!(out.dispatches.is_empty());
+        assert_eq!(s.queue_len(), 2);
+        // The timer at the backend-free instant flushes one joint batch.
+        let fire = s.on_timer(t(2000));
+        assert_eq!(fire.dispatches.len(), 1);
+        assert_eq!(fire.dispatches[0].patch_count(), 2);
+    }
+
+    #[test]
+    fn aware_scheduler_never_drags_feasible_work_behind_doomed_batches() {
+        let mut s = aware_scheduler();
+        s.on_signals(t(0), &signals(2000));
+        // A doomed patch (deadline 1 s, backend busy until 2 s) waits for
+        // the backend-free instant.
+        let _ = s.on_patch(t(0), patch(1, 300, 300, 0, 1000));
+        assert_eq!(s.invoke_by(), Some(t(2000)));
+        // A feasible patch (deadline 5.1 s) joins: the queue is no longer
+        // all-doomed, so the SLO-driven `t_remain` (min deadline − slack
+        // ≈ 0.89 s) governs again instead of the 2 s backend wait.
+        let out = s.on_patch(t(100), patch(2, 300, 300, 100, 5000));
+        assert!(out.dispatches.is_empty());
+        let wake = s.invoke_by().expect("timer armed");
+        assert!(
+            wake < t(1000),
+            "feasible work reverts to SLO timing: {wake}"
+        );
+    }
+
+    #[test]
+    fn admission_blind_scheduler_ignores_signals() {
+        let mut s = scheduler();
+        s.on_signals(t(0), &signals(2000));
+        let out = s.on_patch(t(0), patch(1, 300, 300, 0, 1000));
+        let invoke_by = out.next_wake.expect("timer armed");
+        assert!(
+            invoke_by < t(1000),
+            "legacy timing must be untouched: {invoke_by}"
+        );
+    }
+
+    #[test]
+    fn aware_scheduler_with_an_idle_backend_matches_legacy_timing() {
+        let mut aware = aware_scheduler();
+        // Idle backend: earliest start is "now", so max() is a no-op.
+        aware.on_signals(t(0), &signals(0));
+        let mut blind = scheduler();
+        let a = aware.on_patch(t(0), patch(1, 300, 300, 0, 1000));
+        let b = blind.on_patch(t(0), patch(1, 300, 300, 0, 1000));
+        assert_eq!(a.next_wake, b.next_wake);
+        assert_eq!(a.dispatches.len(), b.dispatches.len());
     }
 
     #[test]

@@ -19,6 +19,7 @@
 
 use tangram_core::admission::{AdmissionPolicy, AlwaysAdmit, QueueDepthThreshold, SloShedder};
 use tangram_core::engine::{EngineConfig, PolicyKind};
+use tangram_core::fairness::{DrrConfig, DrrIngress};
 use tangram_core::online::ArrivalProcess;
 use tangram_sim::rng::DetRng;
 use tangram_types::ids::SceneId;
@@ -252,6 +253,65 @@ impl AdmissionSpec {
     }
 }
 
+/// The declarative face of [`tangram_core::fairness`]: a weighted-DRR
+/// fair-ingress stage for every cell, with stable names for
+/// `BENCH_*.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FairnessSpec {
+    /// Per-class DRR weights, aligned with the cell's distinct tenant
+    /// SLOs sorted ascending (tightest class first). Classes beyond the
+    /// list fall back to weight 1.
+    pub weights: Vec<f64>,
+    /// Per-class ingress queue bound; arrivals past it are shed.
+    pub queue_capacity: usize,
+    /// DRR service-round interval, seconds.
+    pub tick_s: f64,
+    /// Credits per weight unit per round; with `tick_s` this sets the
+    /// ingress service rate (`Σ weights × quantum / tick_s` items/s).
+    pub quantum: f64,
+    /// Whether the Tangram scheduler also runs admission-aware (consults
+    /// the predicted backend drain before dispatching).
+    pub admission_aware: bool,
+}
+
+impl FairnessSpec {
+    /// Stable name used in `BENCH_*.json` and report tables.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        "drr"
+    }
+
+    /// Builds the engine-side ingress. `tenant_slos_s` is the cell's
+    /// tenant mix (the scenario axis); a cell without one runs a single
+    /// class at `default_slo_s`.
+    #[must_use]
+    pub fn build(&self, tenant_slos_s: &[f64], default_slo_s: f64) -> DrrIngress {
+        let mut slos: Vec<f64> = if tenant_slos_s.is_empty() {
+            vec![default_slo_s]
+        } else {
+            tenant_slos_s.to_vec()
+        };
+        slos.sort_by(|a, b| a.partial_cmp(b).expect("finite SLO"));
+        slos.dedup();
+        let classes = slos
+            .iter()
+            .enumerate()
+            .map(|(i, &slo_s)| {
+                (
+                    SimDuration::from_secs_f64(slo_s),
+                    self.weights.get(i).copied().unwrap_or(1.0),
+                )
+            })
+            .collect();
+        DrrIngress::new(&DrrConfig {
+            classes,
+            queue_capacity: self.queue_capacity,
+            quantum: self.quantum,
+            tick: SimDuration::from_secs_f64(self.tick_s),
+        })
+    }
+}
+
 /// A declarative experiment: the cartesian product of its axes.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepGrid {
@@ -288,6 +348,10 @@ pub struct SweepGrid {
     /// Admission-control axis: empty (the default) runs with no ingress
     /// policy; non-empty crosses every cell with each policy.
     pub admission: Vec<AdmissionSpec>,
+    /// Fair-ingress axis: empty (the default) feeds admitted arrivals to
+    /// the policy directly; non-empty crosses every cell with each
+    /// weighted-DRR stage.
+    pub fairness: Vec<FairnessSpec>,
 }
 
 impl SweepGrid {
@@ -308,6 +372,7 @@ impl SweepGrid {
             max_instances: None,
             scenarios: Vec::new(),
             admission: Vec::new(),
+            fairness: Vec::new(),
         }
     }
 
@@ -322,14 +387,15 @@ impl SweepGrid {
             * self.sigma_multipliers.len()
             * self.seeds.len()
             * self.admission.len().max(1)
+            * self.fairness.len().max(1)
     }
 
     /// Enumerates every cell in a fixed order (workload-major, then
-    /// scenario, policy, bandwidth, SLO, sigma, seed, admission; absent
-    /// scenario/admission axes contribute a single pass-through
-    /// iteration, so legacy grids keep their exact cell order). The
-    /// order — and everything else about a cell — is independent of how
-    /// many workers later run it.
+    /// scenario, policy, bandwidth, SLO, sigma, seed, admission,
+    /// fairness; absent scenario/admission/fairness axes contribute a
+    /// single pass-through iteration, so legacy grids keep their exact
+    /// cell order). The order — and everything else about a cell — is
+    /// independent of how many workers later run it.
     #[must_use]
     pub fn cells(&self) -> Vec<SweepCell> {
         // Optional axes iterate once as `None` when unset.
@@ -342,6 +408,7 @@ impl SweepGrid {
         };
         let scenario_axis = opt(self.scenarios.len());
         let admission_axis = opt(self.admission.len());
+        let fairness_axis = opt(self.fairness.len());
         let mut cells = Vec::with_capacity(self.cell_count());
         for (workload_index, _) in self.workloads.iter().enumerate() {
             for &scenario_index in &scenario_axis {
@@ -351,29 +418,33 @@ impl SweepGrid {
                             for &sigma_multiplier in &self.sigma_multipliers {
                                 for &seed in &self.seeds {
                                     for &admission_index in &admission_axis {
-                                        let root = DetRng::new(seed);
-                                        cells.push(SweepCell {
-                                            index: cells.len(),
-                                            policy,
-                                            seed,
-                                            slo_s,
-                                            bandwidth_mbps,
-                                            sigma_multiplier,
-                                            workload_index,
-                                            scenario_index,
-                                            admission_index,
-                                            trace_seed: root.derive_seed(
-                                                "harness-trace",
-                                                workload_index as u64,
-                                            ),
-                                            engine_seed: root.derive_seed(
-                                                "harness-engine",
-                                                workload_index as u64,
-                                            ),
-                                            mark_timeout_s: self.mark_timeout_for(bandwidth_mbps),
-                                            max_fps: self.max_fps,
-                                            max_instances: self.max_instances,
-                                        });
+                                        for &fairness_index in &fairness_axis {
+                                            let root = DetRng::new(seed);
+                                            cells.push(SweepCell {
+                                                index: cells.len(),
+                                                policy,
+                                                seed,
+                                                slo_s,
+                                                bandwidth_mbps,
+                                                sigma_multiplier,
+                                                workload_index,
+                                                scenario_index,
+                                                admission_index,
+                                                fairness_index,
+                                                trace_seed: root.derive_seed(
+                                                    "harness-trace",
+                                                    workload_index as u64,
+                                                ),
+                                                engine_seed: root.derive_seed(
+                                                    "harness-engine",
+                                                    workload_index as u64,
+                                                ),
+                                                mark_timeout_s: self
+                                                    .mark_timeout_for(bandwidth_mbps),
+                                                max_fps: self.max_fps,
+                                                max_instances: self.max_instances,
+                                            });
+                                        }
                                     }
                                 }
                             }
@@ -416,6 +487,8 @@ pub struct SweepCell {
     pub scenario_index: Option<usize>,
     /// Index into [`SweepGrid::admission`] (`None` = no ingress policy).
     pub admission_index: Option<usize>,
+    /// Index into [`SweepGrid::fairness`] (`None` = no fair ingress).
+    pub fairness_index: Option<usize>,
     /// Derived seed for workload/trace construction (shared across
     /// policies at the same workload × seed).
     pub trace_seed: u64,
@@ -591,6 +664,50 @@ mod tests {
         let grid = SweepGrid::named("x");
         assert!(grid.scenarios.is_empty());
         assert!(grid.admission.is_empty());
+        assert!(grid.fairness.is_empty());
+    }
+
+    #[test]
+    fn fairness_axis_multiplies_the_product() {
+        let drr = |aware: bool| FairnessSpec {
+            weights: vec![3.0, 1.0],
+            queue_capacity: 16,
+            tick_s: 0.02,
+            quantum: 1.0,
+            admission_aware: aware,
+        };
+        let mut grid = tiny_grid();
+        let base = grid.cell_count();
+        grid.fairness = vec![drr(false), drr(true)];
+        assert_eq!(grid.cell_count(), base * 2);
+        let cells = grid.cells();
+        assert_eq!(cells.len(), grid.cell_count());
+        // Fairness is the innermost axis; both indices resolve.
+        assert_eq!(cells[0].fairness_index, Some(0));
+        assert_eq!(cells[1].fairness_index, Some(1));
+        assert_eq!(cells[0].policy, cells[1].policy);
+        // Paired comparison holds: the fairness axis shares seeds.
+        assert_eq!(cells[0].trace_seed, cells[1].trace_seed);
+        assert_eq!(cells[0].engine_seed, cells[1].engine_seed);
+    }
+
+    #[test]
+    fn fairness_specs_build_engine_ingresses() {
+        let spec = FairnessSpec {
+            weights: vec![3.0, 1.0],
+            queue_capacity: 8,
+            tick_s: 0.02,
+            quantum: 1.0,
+            admission_aware: false,
+        };
+        assert_eq!(spec.kind(), "drr");
+        // Tenant mixes dedup and sort tightest-first; the weights align.
+        let ingress = spec.build(&[1.5, 0.8, 1.5], 1.0);
+        assert_eq!(ingress.peak_depths().len(), 2);
+        assert_eq!(ingress.peak_depths()[0].0, SimDuration::from_secs_f64(0.8));
+        // Without a tenant mix the cell's own SLO forms a single class.
+        let single = spec.build(&[], 1.0);
+        assert_eq!(single.peak_depths(), vec![(SimDuration::from_secs(1), 0)]);
     }
 
     #[test]

@@ -79,6 +79,15 @@ impl Json {
         }
     }
 
+    /// The value as a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The value as an array slice.
     #[must_use]
     pub fn as_array(&self) -> Option<&[Json]> {

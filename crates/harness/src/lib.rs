@@ -62,7 +62,8 @@ pub mod table;
 
 pub use cli::ExpOpts;
 pub use grid::{
-    AdmissionSpec, ArrivalSpec, ScenarioSpec, SweepCell, SweepGrid, TraceKind, WorkloadSpec,
+    AdmissionSpec, ArrivalSpec, FairnessSpec, ScenarioSpec, SweepCell, SweepGrid, TraceKind,
+    WorkloadSpec,
 };
 pub use pool::parallel_map;
 pub use report::{gate, BenchReport, CellReport, GateConfig, SCHEMA_VERSION};

@@ -6,7 +6,9 @@
 //! table experiments, and the default engine configuration. They live
 //! here once, as constructors with a paper-default and a stress variant.
 
-use crate::grid::{AdmissionSpec, ArrivalSpec, ScenarioSpec, SweepGrid, TraceKind, WorkloadSpec};
+use crate::grid::{
+    AdmissionSpec, ArrivalSpec, FairnessSpec, ScenarioSpec, SweepGrid, TraceKind, WorkloadSpec,
+};
 use tangram_core::engine::{EngineConfig, PolicyKind};
 use tangram_core::workload::{CameraTrace, TraceConfig};
 use tangram_sim::rng::DetRng;
@@ -236,6 +238,70 @@ pub fn overload_grid(seed: u64, frames_per_camera: usize, smoke: bool) -> SweepG
         .map(|&fps| churn_scenario(fps, frames_per_camera))
         .collect();
     grid.admission = overload_admission_axis();
+    grid
+}
+
+/// The gold-over-best-effort DRR weights of the fairness sweep.
+pub const FAIRNESS_WEIGHTS: [f64; 2] = [3.0, 1.0];
+
+/// The weighted-DRR fair-ingress spec of the fairness sweep: gold
+/// weighted [`FAIRNESS_WEIGHTS`] (3:1) over best-effort, bounded
+/// per-class queues, and an ingress service rate of
+/// `Σ weights × quantum / tick` = 80 items/s — pinned below what the
+/// fairness grid's backend sustains, so admitted work flows through an
+/// uncongested scheduler. The Tangram scheduler runs admission-aware
+/// (it consults the predicted backend drain before dispatching).
+#[must_use]
+pub fn fairness_drr_spec() -> FairnessSpec {
+    FairnessSpec {
+        weights: FAIRNESS_WEIGHTS.to_vec(),
+        queue_capacity: 16,
+        tick_s: 0.02,
+        quantum: 0.4,
+        admission_aware: true,
+    }
+}
+
+/// The offered-load ramp of the fairness sweep, mean frames per second
+/// per camera. At ~7.8 patches per frame over four cameras the three
+/// points offer ≈ 1×, 2× and 4× the DRR ingress service rate — the
+/// middle point is the "2× overload" cell of the weighted-share table.
+pub const FAIRNESS_RAMP_FPS: [f64; 3] = [2.5, 5.0, 10.0];
+
+/// The fairness grid (the `bench_fairness` bin): Tangram under a Poisson
+/// ramp crossing the DRR ingress capacity, with the gold/best-effort
+/// tenant mix and the weighted-DRR fair-ingress axis — the
+/// weighted-share-vs-offered-load experiment. The uplink is wide
+/// (200 Mbps) and the backend cap raised to 8 instances so the *ingress*
+/// is the binding stage: under the 2×-overload cell the admitted
+/// per-class mix must track the 3:1 weights instead of collapsing to a
+/// single class (the `SloShedder` under the same pressure serves a
+/// best-effort-dominant residue — see `baselines/BENCH_overload.json`).
+/// `smoke` keeps the 2× and 4× points for CI.
+#[must_use]
+pub fn fairness_grid(seed: u64, frames_per_camera: usize, smoke: bool) -> SweepGrid {
+    let mut grid = SweepGrid::named(if smoke { "fairness" } else { "fairness_full" });
+    grid.policies = vec![PolicyKind::Tangram];
+    grid.seeds = vec![seed];
+    grid.slos_s = vec![1.0];
+    grid.bandwidths_mbps = vec![200.0];
+    grid.max_instances = Some(Some(8));
+    grid.workloads = vec![WorkloadSpec {
+        scenes: vec![1, 2, 3, 4],
+        frames: 8, // content pool per camera; the generator cycles it
+        trace: TraceKind::Proxy,
+    }];
+    grid.mark_timeouts_s = paper_mark_timeouts_s();
+    let ramp: &[f64] = if smoke {
+        &[FAIRNESS_RAMP_FPS[1], FAIRNESS_RAMP_FPS[2]]
+    } else {
+        &FAIRNESS_RAMP_FPS
+    };
+    grid.scenarios = ramp
+        .iter()
+        .map(|&fps| churn_scenario(fps, frames_per_camera))
+        .collect();
+    grid.fairness = vec![fairness_drr_spec()];
     grid
 }
 

@@ -14,7 +14,8 @@
 //! host machine's speed cannot.
 
 use crate::grid::{
-    policy_from_name, AdmissionSpec, ArrivalSpec, ScenarioSpec, SweepGrid, TraceKind, WorkloadSpec,
+    policy_from_name, AdmissionSpec, ArrivalSpec, FairnessSpec, ScenarioSpec, SweepGrid, TraceKind,
+    WorkloadSpec,
 };
 use crate::json::Json;
 use serde::{Deserialize, Serialize};
@@ -23,7 +24,9 @@ use tangram_core::report::{RunSummary, TenantSummary};
 /// Version stamped into every `BENCH_*.json`; bump on any field change.
 /// v2 added drop accounting (`dropped_arrivals`, `tenants`) to the
 /// per-cell metrics and the scenario/admission sweep axes to the grid.
-pub const SCHEMA_VERSION: u64 = 2;
+/// v3 added per-class fair-ingress queue accounting (`peak_queued` on
+/// every tenant row) and the weighted-DRR `fairness` sweep axis.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// One cell's outcome.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -47,6 +50,9 @@ pub struct CellReport {
     /// Admission-policy name — recorded (and serialized) only when the
     /// grid sweeps an admission axis.
     pub admission: Option<String>,
+    /// Fair-ingress name — recorded (and serialized) only when the grid
+    /// sweeps a fairness axis.
+    pub fairness: Option<String>,
     /// The engine's scalar digest (policy name included).
     pub metrics: RunSummary,
 }
@@ -211,7 +217,59 @@ fn grid_to_value(grid: &SweepGrid) -> Json {
             Json::Array(grid.admission.iter().map(admission_to_value).collect()),
         ));
     }
+    if !grid.fairness.is_empty() {
+        fields.push((
+            "fairness",
+            Json::Array(grid.fairness.iter().map(fairness_to_value).collect()),
+        ));
+    }
     Json::object(fields)
+}
+
+fn fairness_to_value(spec: &FairnessSpec) -> Json {
+    Json::object(vec![
+        ("kind", Json::Str(spec.kind().to_string())),
+        (
+            "weights",
+            Json::Array(spec.weights.iter().map(|&w| Json::F64(w)).collect()),
+        ),
+        ("queue_capacity", Json::U64(spec.queue_capacity as u64)),
+        ("tick_s", Json::F64(spec.tick_s)),
+        ("quantum", Json::F64(spec.quantum)),
+        ("admission_aware", Json::Bool(spec.admission_aware)),
+    ])
+}
+
+fn fairness_from_value(value: &Json) -> Result<FairnessSpec, String> {
+    match value.get("kind").and_then(Json::as_str) {
+        Some("drr") => {}
+        other => return Err(format!("unknown fairness.kind {other:?}")),
+    }
+    let f = |key: &str| -> Result<f64, String> {
+        value
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing fairness.{key}"))
+    };
+    Ok(FairnessSpec {
+        weights: value
+            .get("weights")
+            .and_then(Json::as_array)
+            .ok_or("missing fairness.weights")?
+            .iter()
+            .map(|v| v.as_f64().ok_or("bad fairness.weights"))
+            .collect::<Result<Vec<_>, _>>()?,
+        queue_capacity: value
+            .get("queue_capacity")
+            .and_then(Json::as_u64)
+            .ok_or("missing fairness.queue_capacity")? as usize,
+        tick_s: f("tick_s")?,
+        quantum: f("quantum")?,
+        admission_aware: value
+            .get("admission_aware")
+            .and_then(Json::as_bool)
+            .ok_or("missing fairness.admission_aware")?,
+    })
 }
 
 fn admission_to_value(spec: &AdmissionSpec) -> Json {
@@ -435,6 +493,15 @@ fn grid_from_value(value: &Json) -> Result<SweepGrid, String> {
             .map(admission_from_value)
             .collect::<Result<Vec<_>, _>>()?,
     };
+    let fairness = match value.get("fairness") {
+        Some(Json::Null) | None => Vec::new(),
+        Some(v) => v
+            .as_array()
+            .ok_or("bad grid.fairness")?
+            .iter()
+            .map(fairness_from_value)
+            .collect::<Result<Vec<_>, _>>()?,
+    };
     Ok(SweepGrid {
         name: String::new(), // carried by the report, not the echo
         policies,
@@ -448,6 +515,7 @@ fn grid_from_value(value: &Json) -> Result<SweepGrid, String> {
         max_instances,
         scenarios,
         admission,
+        fairness,
     })
 }
 
@@ -501,6 +569,8 @@ fn tenant_to_value(t: &TenantSummary) -> Json {
         ("patches", Json::U64(t.patches)),
         ("violations", Json::U64(t.violations)),
         ("dropped", Json::U64(t.dropped)),
+        ("admitted", Json::U64(t.admitted)),
+        ("peak_queued", Json::U64(t.peak_queued)),
     ])
 }
 
@@ -519,6 +589,8 @@ fn tenant_from_value(value: &Json) -> Result<TenantSummary, String> {
         patches: u("patches")?,
         violations: u("violations")?,
         dropped: u("dropped")?,
+        admitted: u("admitted")?,
+        peak_queued: u("peak_queued")?,
     })
 }
 
@@ -538,6 +610,9 @@ fn cell_to_value(cell: &CellReport) -> Json {
     }
     if let Some(admission) = &cell.admission {
         fields.push(("admission", Json::Str(admission.clone())));
+    }
+    if let Some(fairness) = &cell.fairness {
+        fields.push(("fairness", Json::Str(fairness.clone())));
     }
     fields.extend([(
         "metrics",
@@ -619,6 +694,10 @@ fn cell_from_value(value: &Json) -> Result<CellReport, String> {
         Some(v) => Some(v.as_str().ok_or("bad cell.admission")?.to_string()),
         None => None,
     };
+    let fairness = match value.get("fairness") {
+        Some(v) => Some(v.as_str().ok_or("bad cell.fairness")?.to_string()),
+        None => None,
+    };
     Ok(CellReport {
         index: cu("index")?,
         seed: cu("seed")?,
@@ -628,6 +707,7 @@ fn cell_from_value(value: &Json) -> Result<CellReport, String> {
         workload: cu("workload")?,
         scenario,
         admission,
+        fairness,
         metrics: RunSummary {
             policy: value
                 .get("policy")
@@ -779,6 +859,8 @@ pub fn gate(baseline: &BenchReport, candidate: &BenchReport, config: &GateConfig
                     ("patches", bt.patches, ct.patches),
                     ("violations", bt.violations, ct.violations),
                     ("dropped", bt.dropped, ct.dropped),
+                    ("admitted", bt.admitted, ct.admitted),
+                    ("peak_queued", bt.peak_queued, ct.peak_queued),
                 ] {
                     if b != c {
                         violations.push(format!(
@@ -829,6 +911,8 @@ mod tests {
                 patches: 100,
                 violations: 2,
                 dropped: 3,
+                admitted: 0,
+                peak_queued: 0,
             }],
             slo_attainment: 0.98,
             mean_latency_s: 0.4,
@@ -868,6 +952,7 @@ mod tests {
                 workload: 0,
                 scenario: None,
                 admission: None,
+                fairness: None,
                 metrics: sample_summary("Tangram"),
             }],
         }
@@ -895,6 +980,41 @@ mod tests {
         let text = sample_report().to_json();
         assert!(!text.contains("scenario"));
         assert!(!text.contains("admission"));
+        assert!(!text.contains("fairness"));
+    }
+
+    #[test]
+    fn fairness_grids_round_trip() {
+        let mut report = sample_report();
+        report.grid.fairness = vec![FairnessSpec {
+            weights: vec![3.0, 1.0],
+            queue_capacity: 16,
+            tick_s: 0.02,
+            quantum: 1.5,
+            admission_aware: true,
+        }];
+        report.cells[0].fairness = Some("drr".to_string());
+        report.cells[0].metrics.tenants[0].peak_queued = 16;
+        let text = report.to_json();
+        assert!(text.contains("\"fairness\""));
+        assert!(text.contains("\"admission_aware\": true"));
+        assert!(text.contains("\"peak_queued\": 16"));
+        let back = BenchReport::from_json(&text).unwrap();
+        assert_eq!(back.grid.fairness, report.grid.fairness);
+        assert_eq!(back.cells, report.cells);
+        assert_eq!(back.to_json(), text, "render(parse(x)) == x");
+    }
+
+    #[test]
+    fn gate_catches_queue_peak_drift() {
+        let baseline = sample_report();
+        let mut candidate = baseline.clone();
+        candidate.cells[0].metrics.tenants[0].peak_queued = 7;
+        let violations = gate(&baseline, &candidate, &GateConfig::default());
+        assert!(
+            violations.iter().any(|v| v.contains("peak_queued")),
+            "{violations:?}"
+        );
     }
 
     #[test]
@@ -975,7 +1095,7 @@ mod tests {
     fn schema_version_is_enforced() {
         let text = sample_report()
             .to_json()
-            .replace("\"schema_version\": 2", "\"schema_version\": 999");
+            .replace("\"schema_version\": 3", "\"schema_version\": 999");
         let err = BenchReport::from_json(&text).unwrap_err();
         assert!(err.contains("schema_version"), "{err}");
     }

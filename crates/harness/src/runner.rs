@@ -1,6 +1,6 @@
 //! Grid execution: fan cells out over the pool, reassemble in order.
 
-use crate::grid::{AdmissionSpec, ScenarioSpec, SweepCell, SweepGrid};
+use crate::grid::{AdmissionSpec, FairnessSpec, ScenarioSpec, SweepCell, SweepGrid};
 use crate::pool::parallel_map;
 use crate::presets::build_workload;
 use crate::report::{BenchReport, CellReport};
@@ -56,20 +56,26 @@ pub fn run_grid_full(grid: &SweepGrid, workers: usize) -> Vec<CellOutcome> {
 
     let scenarios = grid.scenarios.clone();
     let admission = grid.admission.clone();
+    let fairness = grid.fairness.clone();
     parallel_map(cells, workers, move |_, cell| {
         let traces = Arc::clone(&traces[&(cell.workload_index, cell.trace_seed)]);
-        let config = cell.engine_config();
         let admission = cell.admission_index.map(|i| &admission[i]);
+        let fairness = cell.fairness_index.map(|i| &fairness[i]);
+        let mut config = cell.engine_config();
+        if let Some(spec) = fairness {
+            config.scheduler_admission_aware = spec.admission_aware;
+        }
         let report = match cell.scenario_index.map(|i| &scenarios[i]) {
-            None => match admission {
-                // No ingress policy: the legacy batch entry point.
-                None => config.run(&traces),
-                // Trace replay under admission control: mount the same
-                // replay sources on the streaming engine (byte-identical
-                // to the batch path when nothing is shed).
-                Some(spec) => run_replay(&config, &traces, spec),
+            None => match (admission, fairness) {
+                // No ingress stage at all: the legacy batch entry point.
+                (None, None) => config.run(&traces),
+                // Trace replay under admission control and/or a fair
+                // ingress: mount the same replay sources on the streaming
+                // engine (byte-identical to the batch path when nothing
+                // is shed or queued).
+                _ => run_replay(&config, &traces, cell.slo_s, admission, fairness),
             },
-            Some(scenario) => run_scenario(&config, &traces, scenario, admission),
+            Some(scenario) => run_scenario(&config, &traces, scenario, admission, fairness),
         };
         CellOutcome { cell, report }
     })
@@ -77,11 +83,15 @@ pub fn run_grid_full(grid: &SweepGrid, workers: usize) -> Vec<CellOutcome> {
 
 /// Replays `traces` through the streaming engine exactly as
 /// [`EngineConfig::run`] mounts them (1 ms join stagger per camera),
-/// with an ingress admission policy installed.
+/// with the cell's ingress stages (admission policy and/or weighted-DRR
+/// fair ingress) installed. Replay cells carry no tenant mix, so the
+/// fair ingress runs a single class at the cell SLO.
 fn run_replay(
     config: &EngineConfig,
     traces: &[CameraTrace],
-    admission: &AdmissionSpec,
+    slo_s: f64,
+    admission: Option<&AdmissionSpec>,
+    fairness: Option<&FairnessSpec>,
 ) -> RunReport {
     let mut engine = OnlineEngine::new(config);
     for (cam, trace) in traces.iter().enumerate() {
@@ -90,7 +100,12 @@ fn run_replay(
             Box::new(TraceReplaySource::new(trace.clone())),
         );
     }
-    engine.set_admission_policy(admission.build(&[]));
+    if let Some(spec) = admission {
+        engine.set_admission_policy(spec.build(&[]));
+    }
+    if let Some(spec) = fairness {
+        engine.set_fair_ingress(spec.build(&[], slo_s));
+    }
     engine.run()
 }
 
@@ -98,9 +113,9 @@ fn run_replay(
 /// content pools on an [`OnlineEngine`], cameras join staggered (and
 /// leave after their session, when churn is configured), arrival timing
 /// comes from the scenario's seeded process, tenant SLO classes are
-/// assigned round-robin, and the cell's admission policy (if any) guards
-/// the ingress — the SLO-aware shedder's class table is primed from the
-/// scenario's tenant mix.
+/// assigned round-robin, and the cell's ingress stages (if any) guard
+/// the entrance — the SLO-aware shedder's class table and the weighted
+/// DRR's class queues are primed from the scenario's tenant mix.
 ///
 /// Everything is derived from `config.seed` (the cell's engine seed) via
 /// labelled forks, so the outcome is independent of which worker thread
@@ -111,10 +126,14 @@ pub fn run_scenario(
     traces: &[CameraTrace],
     scenario: &ScenarioSpec,
     admission: Option<&AdmissionSpec>,
+    fairness: Option<&FairnessSpec>,
 ) -> RunReport {
     let mut engine = OnlineEngine::new(config);
     if let Some(spec) = admission {
         engine.set_admission_policy(spec.build(&scenario.tenant_slos_s));
+    }
+    if let Some(spec) = fairness {
+        engine.set_fair_ingress(spec.build(&scenario.tenant_slos_s, config.slo.as_secs_f64()));
     }
     let root = DetRng::new(config.seed);
     for (cam, trace) in traces.iter().enumerate() {
@@ -168,6 +187,16 @@ pub fn bench_report(grid: &SweepGrid, outcomes: &[CellOutcome]) -> BenchReport {
                     .cell
                     .admission_index
                     .map(|i| grid.admission[i].kind().to_string()),
+                // All fairness specs share the "drr" kind, so a
+                // multi-variant axis suffixes the axis index to keep
+                // cells distinguishable.
+                fairness: o.cell.fairness_index.map(|i| {
+                    if grid.fairness.len() > 1 {
+                        format!("{}@{i}", grid.fairness[i].kind())
+                    } else {
+                        grid.fairness[i].kind().to_string()
+                    }
+                }),
                 metrics: o.report.summarize(),
             })
             .collect(),

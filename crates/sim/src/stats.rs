@@ -178,7 +178,10 @@ impl EmpiricalCdf {
         idx as f64 / self.samples.len() as f64
     }
 
-    /// The `q`-quantile (`q` in `[0, 1]`, nearest-rank).
+    /// The `q`-quantile (`q` in `[0, 1]`, nearest-rank): the smallest
+    /// sample whose cumulative frequency reaches `q`, i.e. the
+    /// `⌈q·n⌉`-th smallest (1-based), clamped so `q = 0` yields the
+    /// minimum and `q = 1` the maximum.
     ///
     /// Returns `None` when empty.
     pub fn quantile(&mut self, q: f64) -> Option<f64> {
@@ -187,8 +190,9 @@ impl EmpiricalCdf {
         }
         self.ensure_sorted();
         let q = q.clamp(0.0, 1.0);
-        let idx = ((self.samples.len() as f64 - 1.0) * q).round() as usize;
-        Some(self.samples[idx])
+        let n = self.samples.len();
+        let rank = (q * n as f64).ceil() as usize;
+        Some(self.samples[rank.clamp(1, n) - 1])
     }
 
     /// `n` evenly-spaced `(value, cumulative_probability)` points — exactly
@@ -229,6 +233,7 @@ pub struct Histogram {
     hi: f64,
     counts: Vec<u64>,
     total: u64,
+    nan: u64,
 }
 
 impl Histogram {
@@ -246,11 +251,20 @@ impl Histogram {
             hi,
             counts: vec![0; bins],
             total: 0,
+            nan: 0,
         }
     }
 
-    /// Adds an observation; values outside the range land in the edge bins.
+    /// Adds an observation; values outside the range land in the edge
+    /// bins. `NaN` has no position on the axis: it is counted in
+    /// [`Histogram::total`] (and [`Histogram::nan_count`]) but binned
+    /// nowhere, instead of silently landing in bin 0 via a float cast.
     pub fn push(&mut self, x: f64) {
+        if x.is_nan() {
+            self.nan += 1;
+            self.total += 1;
+            return;
+        }
         let bins = self.counts.len();
         let idx = if x < self.lo {
             0
@@ -269,10 +283,16 @@ impl Histogram {
         &self.counts
     }
 
-    /// Total number of observations.
+    /// Total number of observations (`NaN` observations included).
     #[must_use]
     pub fn total(&self) -> u64 {
         self.total
+    }
+
+    /// Number of `NaN` observations (counted in the total, in no bin).
+    #[must_use]
+    pub fn nan_count(&self) -> u64 {
+        self.nan
     }
 
     /// `(bin_center, fraction)` pairs — the normalised distribution.
@@ -427,6 +447,26 @@ mod tests {
     }
 
     #[test]
+    fn quantile_is_true_nearest_rank() {
+        // 10 samples at q = 0.5: nearest rank is ⌈0.5·10⌉ = 5, the 5th
+        // smallest — not the 6th the old round((len−1)·q) produced.
+        let mut cdf = EmpiricalCdf::new();
+        cdf.extend((1..=10).map(f64::from));
+        assert_eq!(cdf.quantile(0.5), Some(5.0));
+        // 100 samples at q = 0.99: rank ⌈99⌉ = 99 → the 99th smallest.
+        let mut cdf = EmpiricalCdf::new();
+        cdf.extend((1..=100).map(f64::from));
+        assert_eq!(cdf.quantile(0.99), Some(99.0));
+        assert_eq!(cdf.quantile(0.5), Some(50.0));
+        // Small cells: with 10 samples, p99 rank ⌈9.9⌉ = 10 → the max.
+        let mut cdf = EmpiricalCdf::new();
+        cdf.extend((1..=10).map(f64::from));
+        assert_eq!(cdf.quantile(0.99), Some(10.0));
+        assert_eq!(cdf.quantile(0.0), Some(1.0));
+        assert_eq!(cdf.quantile(1.0), Some(10.0));
+    }
+
+    #[test]
     fn cdf_fraction_below() {
         let mut cdf = EmpiricalCdf::new();
         cdf.extend([0.1, 0.2, 0.3, 0.4, 0.5]);
@@ -477,6 +517,22 @@ mod tests {
         }
         let total: f64 = h.normalized().iter().map(|&(_, f)| f).sum();
         assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_counts_nan_without_binning() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.push(f64::NAN);
+        h.push(0.1);
+        h.push(f64::NAN);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.nan_count(), 2);
+        // NaN lands in no bin — in particular not bin 0 via the cast.
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts().iter().sum::<u64>(), 1);
+        // Normalised fractions cover only the binned mass.
+        let binned: f64 = h.normalized().iter().map(|&(_, f)| f).sum();
+        assert!((binned - 1.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]

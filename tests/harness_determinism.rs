@@ -139,6 +139,58 @@ fn overload_grid_is_parallel_deterministic_and_sheds_under_slo_shedder() {
 }
 
 #[test]
+fn fairness_grid_is_parallel_deterministic_and_holds_weighted_shares() {
+    // The fairness sweep (scenario axis × fairness axis) is what
+    // `bench_fairness --smoke` runs: `--workers N` output must be
+    // byte-identical to `--workers 1`, the fairness block must round-trip,
+    // and the 2×-overload cell must show the weighted-DRR property —
+    // overflow sheds on both classes while the *admitted* mix tracks the
+    // 3:1 weights instead of collapsing to one class.
+    let grid = tangram_harness::presets::fairness_grid(42, 48, true);
+    assert_eq!(grid.cell_count(), grid.scenarios.len());
+    let sequential = run_grid(&grid, 1);
+    let parallel = run_grid(&grid, 4);
+    assert_eq!(sequential.to_json(), parallel.to_json());
+
+    let parsed = BenchReport::from_json(&sequential.to_json()).expect("valid BENCH json");
+    assert_eq!(parsed.grid.fairness, grid.fairness);
+    assert_eq!(parsed.to_json(), sequential.to_json());
+
+    for cell in &parsed.cells {
+        assert_eq!(cell.fairness.as_deref(), Some("drr"), "cell {}", cell.index);
+        assert_eq!(cell.metrics.tenants.len(), 2, "cell {}", cell.index);
+        let drops: u64 = cell.metrics.tenants.iter().map(|t| t.dropped).sum();
+        assert_eq!(
+            drops, cell.metrics.dropped_arrivals,
+            "cell {}: per-class sheds must sum to the total",
+            cell.index
+        );
+        // Queue-depth accounting reaches the serialized report.
+        assert!(
+            cell.metrics.tenants.iter().any(|t| t.peak_queued > 0),
+            "cell {}: ingress queue peaks recorded",
+            cell.index
+        );
+        // Past the ingress knee both classes shed, yet the admitted mix
+        // stays in the configured 3:1 ratio (±10% of the weights).
+        if cell.metrics.dropped_arrivals > 0 {
+            let admitted: u64 = cell.metrics.tenants.iter().map(|t| t.admitted).sum();
+            let gold = &cell.metrics.tenants[0];
+            let share = gold.admitted as f64 / admitted as f64;
+            assert!(
+                (share - 0.75).abs() < 0.075,
+                "cell {}: gold admitted share {share:.3}",
+                cell.index
+            );
+        }
+    }
+    assert!(
+        parsed.cells.iter().any(|c| c.metrics.dropped_arrivals > 0),
+        "the ramp must cross the DRR ingress capacity"
+    );
+}
+
+#[test]
 fn legacy_grid_emission_is_byte_stable_under_the_new_axes() {
     // PR 4 turned `scenario: Option<ScenarioSpec>` into the `scenarios`
     // axis (plus `admission`). Legacy shapes must keep their exact
@@ -149,6 +201,7 @@ fn legacy_grid_emission_is_byte_stable_under_the_new_axes() {
     let plain = run_grid(&two_axis_grid(), 2).to_json();
     assert!(!plain.contains("\"scenario"));
     assert!(!plain.contains("\"admission\""));
+    assert!(!plain.contains("\"fairness\""));
 
     let single = run_grid(&tangram_harness::presets::churn_grid(42, 6), 2).to_json();
     assert!(single.contains("\"scenario\": {"));
