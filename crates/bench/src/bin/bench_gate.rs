@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! bench_gate <baseline.json> <candidate.json> [--max-regression PCT]
+//! bench_gate --trace <baseline.jsonl> <candidate.jsonl>
 //! ```
 //!
 //! Exit status 0 when the candidate is acceptable, 1 with one line per
@@ -12,16 +13,82 @@
 //! drift is a real behavioural change: refresh the baseline deliberately
 //! if it is intended. Throughput may drop (and p99 rise) by at most
 //! `--max-regression` percent, default 20.
+//!
+//! `--trace` switches to event-level diffing of two runtime traces
+//! (`tangram_trace` JSONL, captured via `trace_tool capture`): both
+//! hash chains are verified, then the first divergent event is named by
+//! sequence number and event kind — a scalar BENCH drift tells you
+//! *that* behaviour changed, the trace diff tells you *where*.
 
 use tangram_harness::{gate, BenchReport, GateConfig};
+use tangram_trace::TraceLog;
 
 fn load(path: &str) -> Result<BenchReport, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     BenchReport::from_json(&text).map_err(|e| format!("{path}: {e}"))
 }
 
+fn load_trace(path: &str) -> TraceLog {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("bench_gate: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let log = match TraceLog::from_jsonl(&text) {
+        Ok(log) => log,
+        Err(e) => {
+            eprintln!("bench_gate: {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = log.verify() {
+        eprintln!("bench_gate: {path}: hash chain broken: {e}");
+        std::process::exit(2);
+    }
+    log
+}
+
+/// Event-level trace diff: names the first divergent event, exit 1 on
+/// any divergence.
+fn gate_traces(baseline_path: &str, candidate_path: &str) -> ! {
+    let baseline = load_trace(baseline_path);
+    let candidate = load_trace(candidate_path);
+    match baseline.first_divergence(&candidate) {
+        None => {
+            println!(
+                "bench_gate: OK — traces match '{}' ({} events, final hash {:016x})",
+                baseline_path,
+                baseline.records.len(),
+                baseline.final_hash()
+            );
+            std::process::exit(0);
+        }
+        Some(divergence) => {
+            eprintln!("bench_gate: trace diverges from '{baseline_path}':");
+            eprintln!("  {}", divergence.describe());
+            eprintln!(
+                "\nIf this change is intended, refresh the golden traces:\n  \
+                 cargo run --release --bin trace_tool -- capture smoke --out baselines\n  \
+                 cargo run --release --bin trace_tool -- capture overload --out baselines"
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().is_some_and(|a| a == "--trace") {
+        match &args[1..] {
+            [baseline, candidate] => gate_traces(baseline, candidate),
+            _ => {
+                eprintln!("usage: bench_gate --trace <baseline.jsonl> <candidate.jsonl>");
+                std::process::exit(2);
+            }
+        }
+    }
     let mut config = GateConfig::default();
     let mut positional: Vec<&String> = Vec::new();
     let mut i = 0;

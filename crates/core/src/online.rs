@@ -37,6 +37,7 @@ use tangram_net::{Link, LinkConfig};
 use tangram_serverless::platform::{InvocationRequest, ServerlessPlatform};
 use tangram_sim::driver::EventLoop;
 use tangram_sim::rng::DetRng;
+use tangram_trace::{TraceEvent, TraceLog, TraceSink};
 use tangram_types::geometry::Size;
 use tangram_types::ids::{CameraId, InvocationId, PatchId};
 use tangram_types::patch::{Patch, PatchInfo};
@@ -321,15 +322,24 @@ impl CameraSource for GeneratedSource {
                 mean_calm_s,
                 mean_burst_s,
             } => {
-                if now >= self.state_until {
+                // Advance the modulating chain through *every* dwell that
+                // elapsed since the last capture — a long capture gap can
+                // span several on/off flips, and flipping only once would
+                // let the chain fall behind `now` for good. The dwell gap
+                // is floored at 1 µs because `from_secs_f64` rounds tiny
+                // exponential draws down to zero, which would stall the
+                // loop.
+                while now >= self.state_until {
                     self.in_burst = !self.in_burst;
                     let dwell = if self.in_burst {
                         mean_burst_s
                     } else {
                         mean_calm_s
                     };
-                    let dwell_gap = self.gap(1.0 / dwell.max(MIN_RATE));
-                    self.state_until = now + dwell_gap;
+                    let dwell_gap = self
+                        .gap(1.0 / dwell.max(MIN_RATE))
+                        .max(SimDuration::from_micros(1));
+                    self.state_until += dwell_gap;
                 }
                 let fps = if self.in_burst { burst_fps } else { calm_fps };
                 now + self.gap(fps)
@@ -381,17 +391,28 @@ pub struct OnlineEngine {
     /// [`AdmissionSignals`] snapshot is fed to the policy before its
     /// arrivals even if no admission policy is installed.
     policy_reads_signals: bool,
+    /// Earliest outstanding [`StreamEvent::InvokeTimer`] instant, if one
+    /// is scheduled. Wake-up requests at or after it are skipped — the
+    /// armed timer fires first and the policy re-arms via `next_wake` —
+    /// so the queue never accumulates O(arrivals) dead timers.
+    timer_armed: Option<SimTime>,
     frame_interval: SimDuration,
     patch_records: Vec<PatchRecord>,
     batch_records: Vec<BatchRecord>,
     transmission_busy: SimDuration,
     frames_injected: u64,
     /// Work items admitted but not yet dispatched (the queue-depth
-    /// admission signal).
+    /// admission signal), in the post-normalize unit batches drain in:
+    /// an oversized patch tiled 4-ways contributes 4.
     queued: usize,
     dropped_arrivals: u64,
     /// Drops per tenant class, keyed by SLO, ascending.
     dropped_by_slo: Vec<(SimDuration, u64)>,
+    /// Invocations completed (trace accounting).
+    completions: u64,
+    /// Optional runtime trace recorder — pure observation: with or
+    /// without a sink the run is byte-identical.
+    trace: Option<TraceSink>,
 }
 
 impl OnlineEngine {
@@ -418,6 +439,7 @@ impl OnlineEngine {
             drr_armed: false,
             drr_last_round: None,
             policy_reads_signals: config.scheduler_admission_aware,
+            timer_armed: None,
             frame_interval: SimDuration::from_secs_f64(1.0 / config.max_fps),
             patch_records: Vec::new(),
             batch_records: Vec::new(),
@@ -426,6 +448,8 @@ impl OnlineEngine {
             queued: 0,
             dropped_arrivals: 0,
             dropped_by_slo: Vec::new(),
+            completions: 0,
+            trace: None,
             config: config.clone(),
         }
     }
@@ -470,14 +494,49 @@ impl OnlineEngine {
         self.ingress = Some(ingress);
     }
 
+    /// Installs a runtime trace recorder; the sealed log comes back from
+    /// [`OnlineEngine::run_traced`]. Recording is pure observation: the
+    /// run itself is byte-identical with or without a sink.
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.trace = Some(sink);
+    }
+
+    /// Appends `event` to the trace, if a sink is installed.
+    fn emit_trace(&mut self, at: SimTime, event: TraceEvent) {
+        if let Some(sink) = self.trace.as_mut() {
+            sink.emit(at, event);
+        }
+    }
+
     /// Drives the event loop to quiescence and reports the run.
     ///
     /// # Panics
     ///
     /// Panics if no cameras were added.
     #[must_use]
-    pub fn run(mut self) -> RunReport {
+    pub fn run(self) -> RunReport {
+        self.run_traced().0
+    }
+
+    /// Like [`OnlineEngine::run`], additionally returning the sealed
+    /// event trace when a sink was installed with
+    /// [`OnlineEngine::set_trace_sink`] (`None` otherwise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no cameras were added.
+    #[must_use]
+    pub fn run_traced(mut self) -> (RunReport, Option<TraceLog>) {
         assert!(!self.cameras.is_empty(), "need at least one camera source");
+        let cameras = self.cameras.len() as u64;
+        self.emit_trace(
+            SimTime::ZERO,
+            TraceEvent::SessionStart {
+                policy: self.config.policy.name().to_string(),
+                seed: self.config.seed,
+                cameras,
+            },
+        );
         while let Some((now, event)) = self.events.step() {
             self.handle(now, event);
         }
@@ -487,12 +546,39 @@ impl OnlineEngine {
         for spec in output.dispatches {
             self.dispatch(now, spec);
         }
-        while let Some((_, event)) = self.events.step() {
-            if let StreamEvent::FunctionComplete { id, .. } = event {
+        while let Some((now, event)) = self.events.step() {
+            if let StreamEvent::FunctionComplete { id, feedback } = event {
                 self.platform.complete(id);
+                self.completions += 1;
+                self.emit_trace(
+                    now,
+                    TraceEvent::FunctionComplete {
+                        invocation: id.raw(),
+                        inputs: feedback.inputs as u64,
+                        violations: feedback.violations as u64,
+                    },
+                );
             }
         }
-        RunReport {
+        // Every accepted work item was dispatched: the queue-depth
+        // signal must drain back to exactly zero.
+        debug_assert_eq!(
+            self.queued, 0,
+            "queue-depth accounting leaked {} items past the flush",
+            self.queued
+        );
+        self.emit_trace(
+            self.events.now(),
+            TraceEvent::SessionEnd {
+                frames: self.frames_injected,
+                batches: self.batch_records.len() as u64,
+                completions: self.completions,
+                dropped: self.dropped_arrivals,
+                makespan_us: self.events.now().since(SimTime::ZERO).as_micros(),
+            },
+        );
+        let trace = self.trace.take().map(TraceSink::finish);
+        let report = RunReport {
             policy: self.config.policy.name().to_string(),
             patches: self.patch_records,
             batches: self.batch_records,
@@ -513,16 +599,21 @@ impl OnlineEngine {
                 .unwrap_or_default(),
             transmission_busy: self.transmission_busy,
             makespan: self.events.now().since(SimTime::ZERO),
-        }
+        };
+        (report, trace)
     }
 
     fn handle(&mut self, now: SimTime, event: StreamEvent) {
         match event {
             StreamEvent::CameraJoin { cam } => {
+                let camera = u64::from(self.cameras[cam].source.camera().raw());
+                self.emit_trace(now, TraceEvent::CameraJoin { camera });
                 self.cameras[cam].active = true;
                 self.capture(now, cam);
             }
             StreamEvent::CameraLeave { cam } => {
+                let camera = u64::from(self.cameras[cam].source.camera().raw());
+                self.emit_trace(now, TraceEvent::CameraLeave { camera });
                 self.cameras[cam].active = false;
             }
             StreamEvent::Capture { cam } => {
@@ -546,8 +637,25 @@ impl OnlineEngine {
                 });
                 if let Some(policy) = self.admission.as_mut() {
                     let signals = signals.as_ref().expect("signals built for admission");
-                    if policy.admit(now, &arrival, signals) == Admission::Drop {
-                        self.count_drop(arrival.info().slo);
+                    let verdict = policy.admit(now, &arrival, signals);
+                    let info = *arrival.info();
+                    self.emit_trace(
+                        now,
+                        TraceEvent::AdmissionVerdict {
+                            patch: info.id.raw(),
+                            slo_us: info.slo.as_micros(),
+                            admitted: verdict != Admission::Drop,
+                            queued: signals.queued as u64,
+                            in_flight: signals.backend.in_flight as u64,
+                            earliest_start_us: signals
+                                .backend
+                                .earliest_start
+                                .since(SimTime::ZERO)
+                                .as_micros(),
+                        },
+                    );
+                    if verdict == Admission::Drop {
+                        self.count_drop(info.slo);
                         return;
                     }
                 }
@@ -559,8 +667,12 @@ impl OnlineEngine {
                     // No fair ingress: admitted arrivals reach the policy
                     // directly (the legacy path, byte-identical).
                     None => {
-                        self.queued += 1;
                         let output = self.policy.on_arrival(now, arrival);
+                        // Count what the policy actually enqueued — in
+                        // the post-normalize unit dispatches drain in —
+                        // *before* applying, so same-instant dispatches
+                        // see a consistent counter.
+                        self.queued += output.accepted;
                         self.apply(now, output.dispatches, output.next_wake);
                     }
                     Some(ingress) => {
@@ -595,6 +707,13 @@ impl OnlineEngine {
                 let released = ingress.service_round();
                 let backlog = ingress.backlog();
                 let tick = ingress.tick();
+                self.emit_trace(
+                    now,
+                    TraceEvent::DrrRound {
+                        released: released.len() as u64,
+                        backlog: backlog as u64,
+                    },
+                );
                 if self.policy_reads_signals && !released.is_empty() {
                     let signals = AdmissionSignals {
                         queued: self.queued + backlog,
@@ -603,8 +722,8 @@ impl OnlineEngine {
                     self.policy.on_signals(now, &signals);
                 }
                 for arrival in released {
-                    self.queued += 1;
                     let output = self.policy.on_arrival(now, arrival);
+                    self.queued += output.accepted;
                     self.apply(now, output.dispatches, output.next_wake);
                 }
                 if backlog > 0 {
@@ -614,11 +733,26 @@ impl OnlineEngine {
                 }
             }
             StreamEvent::InvokeTimer => {
+                // The armed slot is free again: the policy re-arms via
+                // `next_wake` if it still wants a wake-up (possibly at
+                // this same instant).
+                if self.timer_armed == Some(now) {
+                    self.timer_armed = None;
+                }
                 let output = self.policy.on_tick(now);
                 self.apply(now, output.dispatches, output.next_wake);
             }
             StreamEvent::FunctionComplete { id, feedback } => {
                 self.platform.complete(id);
+                self.completions += 1;
+                self.emit_trace(
+                    now,
+                    TraceEvent::FunctionComplete {
+                        invocation: id.raw(),
+                        inputs: feedback.inputs as u64,
+                        violations: feedback.violations as u64,
+                    },
+                );
                 let output = self.policy.on_completion(now, feedback);
                 self.apply(now, output.dispatches, output.next_wake);
             }
@@ -727,8 +861,16 @@ impl OnlineEngine {
             self.dispatch(now, spec);
         }
         if let Some(wake) = next_wake {
-            self.events
-                .schedule(wake.max(now), StreamEvent::InvokeTimer);
+            let wake = wake.max(now);
+            // One live timer per armed instant: a duplicate at or after
+            // the armed wake-up would only fire a spurious tick (the
+            // armed timer runs first and the policy re-arms through
+            // `next_wake`), so skip it instead of flooding the queue
+            // with O(arrivals) dead timers.
+            if self.timer_armed.is_none_or(|armed| wake < armed) {
+                self.timer_armed = Some(wake);
+                self.events.schedule(wake, StreamEvent::InvokeTimer);
+            }
         }
     }
 
@@ -736,7 +878,26 @@ impl OnlineEngine {
         if spec.patches.is_empty() {
             return;
         }
-        self.queued = self.queued.saturating_sub(spec.patches.len());
+        // Arrivals were counted post-normalize (`PolicyOutput::accepted`),
+        // the same unit batches drain in, so the counter can never
+        // underflow — a mismatch here is an accounting bug, not a
+        // condition to mask.
+        debug_assert!(
+            self.queued >= spec.patches.len(),
+            "queue-depth underflow: dispatching {} patches with {} queued",
+            spec.patches.len(),
+            self.queued
+        );
+        self.queued -= spec.patches.len();
+        self.emit_trace(
+            now,
+            TraceEvent::BatchDispatch {
+                batch: self.batch_records.len() as u64,
+                patches: spec.patches.len() as u64,
+                inputs: spec.inputs as u64,
+                megapixels_e6: (spec.megapixels * 1e6).round() as u64,
+            },
+        );
         let max = self.platform.spec().max_canvases().max(1);
         let request = InvocationRequest {
             canvases: spec.inputs.min(max),

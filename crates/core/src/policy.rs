@@ -79,6 +79,12 @@ pub struct PolicyOutput {
     pub dispatches: Vec<BatchSpec>,
     /// When the policy wants `on_tick` called next (engine may coalesce).
     pub next_wake: Option<SimTime>,
+    /// Work items the policy actually enqueued for this arrival, in the
+    /// same unit `BatchSpec::patches` drains in (post-normalize: an
+    /// oversized patch tiled 4-ways accepts 4). Only meaningful from
+    /// `on_arrival`; silent drops (e.g. a frame handed to a patch-only
+    /// policy) report 0 so the engine's queue-depth signal stays exact.
+    pub accepted: usize,
 }
 
 impl PolicyOutput {
@@ -93,7 +99,7 @@ impl PolicyOutput {
     pub fn dispatch(batch: BatchSpec) -> Self {
         Self {
             dispatches: vec![batch],
-            next_wake: None,
+            ..Self::default()
         }
     }
 
@@ -101,9 +107,16 @@ impl PolicyOutput {
     #[must_use]
     pub fn wake_at(at: SimTime) -> Self {
         Self {
-            dispatches: Vec::new(),
             next_wake: Some(at),
+            ..Self::default()
         }
+    }
+
+    /// Stamps how many work items this arrival enqueued (builder style).
+    #[must_use]
+    pub fn accepted(mut self, items: usize) -> Self {
+        self.accepted = items;
+        self
     }
 }
 
@@ -201,6 +214,14 @@ mod tests {
             canvas_efficiencies: vec![],
         };
         assert_eq!(PolicyOutput::dispatch(spec).dispatches.len(), 1);
+        assert_eq!(PolicyOutput::idle().accepted, 0);
+        assert_eq!(PolicyOutput::idle().accepted(3).accepted, 3);
+        assert_eq!(
+            PolicyOutput::wake_at(SimTime::from_micros(5))
+                .accepted(1)
+                .accepted,
+            1
+        );
     }
 
     #[test]

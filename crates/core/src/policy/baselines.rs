@@ -60,7 +60,7 @@ impl BatchingPolicy for FramePerRequestPolicy {
 
     fn on_arrival(&mut self, _now: SimTime, arrival: Arrival) -> PolicyOutput {
         match arrival {
-            Arrival::Frame(f) => PolicyOutput::dispatch(Self::dispatch_frame(f)),
+            Arrival::Frame(f) => PolicyOutput::dispatch(Self::dispatch_frame(f)).accepted(1),
             Arrival::Patch(p) => {
                 // Frame policies receive only frames; a stray patch is
                 // served as its own request.
@@ -70,6 +70,7 @@ impl BatchingPolicy for FramePerRequestPolicy {
                     inputs: 1,
                     canvas_efficiencies: Vec::new(),
                 })
+                .accepted(1)
             }
         }
     }
@@ -115,13 +116,15 @@ impl BatchingPolicy for ElfPolicy {
                     megapixels: mpx,
                     canvas_efficiencies: Vec::new(),
                 })
+                .accepted(1)
             }
             Arrival::Frame(f) => PolicyOutput::dispatch(BatchSpec {
                 megapixels: f.effective_megapixels,
                 patches: vec![f.info],
                 inputs: 1,
                 canvas_efficiencies: Vec::new(),
-            }),
+            })
+            .accepted(1),
         }
     }
 
@@ -196,7 +199,7 @@ impl BatchingPolicy for ClipperPolicy {
             return PolicyOutput::idle();
         };
         self.queue.push(p.info);
-        let mut out = PolicyOutput::idle();
+        let mut out = PolicyOutput::idle().accepted(1);
         if self.queue.len() >= self.batch_size {
             let n = self.batch_size;
             out.dispatches.push(self.take_batch(n));
@@ -302,13 +305,13 @@ impl BatchingPolicy for MarkPolicy {
         }
         self.queue.push(p.info);
         if self.queue.len() >= self.max_batch {
-            return PolicyOutput::dispatch(self.take_all());
+            return PolicyOutput::dispatch(self.take_all()).accepted(1);
         }
         let deadline = self.first_arrival.expect("queue non-empty") + self.timeout;
         if now >= deadline {
-            PolicyOutput::dispatch(self.take_all())
+            PolicyOutput::dispatch(self.take_all()).accepted(1)
         } else {
-            PolicyOutput::wake_at(deadline)
+            PolicyOutput::wake_at(deadline).accepted(1)
         }
     }
 

@@ -134,7 +134,9 @@ impl TangramScheduler {
     /// canvas-sized tiles that share the original deadline.
     pub fn on_patch(&mut self, now: SimTime, patch: PatchInfo) -> PolicyOutput {
         let mut out = PolicyOutput::idle();
-        for tile in self.normalize(patch) {
+        let tiles = self.normalize(patch);
+        out.accepted = tiles.len();
+        for tile in tiles {
             self.admit(now, tile, &mut out);
         }
         out.next_wake = self.invoke_by;

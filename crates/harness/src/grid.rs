@@ -352,6 +352,11 @@ pub struct SweepGrid {
     /// the policy directly; non-empty crosses every cell with each
     /// weighted-DRR stage.
     pub fairness: Vec<FairnessSpec>,
+    /// Record a runtime event trace per cell (see `tangram_trace`).
+    /// Execution-only: the flag is *not* part of the serialized
+    /// `BENCH_*.json` schema (trace capture never changes report bytes),
+    /// so `from_json` always reconstructs it as `false`.
+    pub capture_traces: bool,
 }
 
 impl SweepGrid {
@@ -373,6 +378,7 @@ impl SweepGrid {
             scenarios: Vec::new(),
             admission: Vec::new(),
             fairness: Vec::new(),
+            capture_traces: false,
         }
     }
 

@@ -241,6 +241,43 @@ pub fn overload_grid(seed: u64, frames_per_camera: usize, smoke: bool) -> SweepG
     grid
 }
 
+/// The single-cell golden-trace grids the CI gate replays (the
+/// `trace_tool capture` subcommand): one smoke cell (Tangram at
+/// 20 Mbps over the first proxy scene — cell 0 of [`smoke_grid`]) and
+/// one overload cell (the 24 fps ramp point under the SLO shedder —
+/// the admission-heavy cell of [`overload_grid`]). Both restrict an
+/// existing preset to one cell, so the golden trace is byte-identical
+/// to that cell's trace in the full sweep, and both set
+/// [`SweepGrid::capture_traces`].
+///
+/// `which` is `"smoke"` or `"overload"`; anything else returns `None`.
+#[must_use]
+pub fn golden_trace_grid(which: &str, seed: u64) -> Option<SweepGrid> {
+    let mut grid = match which {
+        "smoke" => {
+            let mut grid = smoke_grid(seed);
+            grid.name = "trace_smoke".to_string();
+            grid.policies = vec![PolicyKind::Tangram];
+            grid.bandwidths_mbps = vec![20.0];
+            grid.workloads.truncate(1);
+            grid
+        }
+        "overload" => {
+            let mut grid = overload_grid(seed, 12, true);
+            grid.name = "trace_overload".to_string();
+            grid.scenarios = vec![churn_scenario(OVERLOAD_RAMP_FPS[3], 12)];
+            grid.admission = vec![AdmissionSpec::SloShedder {
+                per_item_s: 0.02,
+                pressure: 0.5,
+            }];
+            grid
+        }
+        _ => return None,
+    };
+    grid.capture_traces = true;
+    Some(grid)
+}
+
 /// The gold-over-best-effort DRR weights of the fairness sweep.
 pub const FAIRNESS_WEIGHTS: [f64; 2] = [3.0, 1.0];
 

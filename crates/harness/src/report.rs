@@ -516,6 +516,8 @@ fn grid_from_value(value: &Json) -> Result<SweepGrid, String> {
         scenarios,
         admission,
         fairness,
+        // Execution-only flag, never serialized into BENCH json.
+        capture_traces: false,
     })
 }
 

@@ -11,6 +11,7 @@ use tangram_core::online::{GeneratedSource, OnlineEngine, TenantClass, TraceRepl
 use tangram_core::report::RunReport;
 use tangram_core::workload::CameraTrace;
 use tangram_sim::rng::DetRng;
+use tangram_trace::{TraceLog, TraceSink};
 use tangram_types::time::{SimDuration, SimTime};
 
 /// One cell's full outcome: the resolved cell plus the engine's complete
@@ -21,6 +22,9 @@ pub struct CellOutcome {
     pub cell: SweepCell,
     /// The engine's full report.
     pub report: RunReport,
+    /// The cell's runtime event trace, when the grid opted in with
+    /// [`SweepGrid::capture_traces`].
+    pub trace: Option<TraceLog>,
 }
 
 /// Runs every cell of `grid` on `workers` threads, returning full
@@ -57,6 +61,7 @@ pub fn run_grid_full(grid: &SweepGrid, workers: usize) -> Vec<CellOutcome> {
     let scenarios = grid.scenarios.clone();
     let admission = grid.admission.clone();
     let fairness = grid.fairness.clone();
+    let capture = grid.capture_traces;
     parallel_map(cells, workers, move |_, cell| {
         let traces = Arc::clone(&traces[&(cell.workload_index, cell.trace_seed)]);
         let admission = cell.admission_index.map(|i| &admission[i]);
@@ -65,19 +70,27 @@ pub fn run_grid_full(grid: &SweepGrid, workers: usize) -> Vec<CellOutcome> {
         if let Some(spec) = fairness {
             config.scheduler_admission_aware = spec.admission_aware;
         }
-        let report = match cell.scenario_index.map(|i| &scenarios[i]) {
+        let (report, trace) = match cell.scenario_index.map(|i| &scenarios[i]) {
             None => match (admission, fairness) {
                 // No ingress stage at all: the legacy batch entry point.
-                (None, None) => config.run(&traces),
+                // Trace capture routes through the streaming engine,
+                // whose replay mount is byte-identical to it.
+                (None, None) if !capture => (config.run(&traces), None),
                 // Trace replay under admission control and/or a fair
                 // ingress: mount the same replay sources on the streaming
                 // engine (byte-identical to the batch path when nothing
                 // is shed or queued).
-                _ => run_replay(&config, &traces, cell.slo_s, admission, fairness),
+                _ => run_replay(&config, &traces, cell.slo_s, admission, fairness, capture),
             },
-            Some(scenario) => run_scenario(&config, &traces, scenario, admission, fairness),
+            Some(scenario) => {
+                run_scenario_traced(&config, &traces, scenario, admission, fairness, capture)
+            }
         };
-        CellOutcome { cell, report }
+        CellOutcome {
+            cell,
+            report,
+            trace,
+        }
     })
 }
 
@@ -92,7 +105,8 @@ fn run_replay(
     slo_s: f64,
     admission: Option<&AdmissionSpec>,
     fairness: Option<&FairnessSpec>,
-) -> RunReport {
+    capture: bool,
+) -> (RunReport, Option<TraceLog>) {
     let mut engine = OnlineEngine::new(config);
     for (cam, trace) in traces.iter().enumerate() {
         engine.add_camera_at(
@@ -106,7 +120,10 @@ fn run_replay(
     if let Some(spec) = fairness {
         engine.set_fair_ingress(spec.build(&[], slo_s));
     }
-    engine.run()
+    if capture {
+        engine.set_trace_sink(TraceSink::new());
+    }
+    engine.run_traced()
 }
 
 /// Runs one streaming-scenario cell: the cell's traces become per-camera
@@ -128,6 +145,19 @@ pub fn run_scenario(
     admission: Option<&AdmissionSpec>,
     fairness: Option<&FairnessSpec>,
 ) -> RunReport {
+    run_scenario_traced(config, traces, scenario, admission, fairness, false).0
+}
+
+/// [`run_scenario`], optionally recording the runtime event trace.
+#[must_use]
+pub fn run_scenario_traced(
+    config: &EngineConfig,
+    traces: &[CameraTrace],
+    scenario: &ScenarioSpec,
+    admission: Option<&AdmissionSpec>,
+    fairness: Option<&FairnessSpec>,
+    capture: bool,
+) -> (RunReport, Option<TraceLog>) {
     let mut engine = OnlineEngine::new(config);
     if let Some(spec) = admission {
         engine.set_admission_policy(spec.build(&scenario.tenant_slos_s));
@@ -158,7 +188,10 @@ pub fn run_scenario(
             engine.remove_camera_at(join + SimDuration::from_secs_f64(session_s), index);
         }
     }
-    engine.run()
+    if capture {
+        engine.set_trace_sink(TraceSink::new());
+    }
+    engine.run_traced()
 }
 
 /// Collapses full outcomes into the serialisable [`BenchReport`].

@@ -1,0 +1,359 @@
+//! The trace event alphabet and its canonical field rendering.
+
+use std::fmt::Write as _;
+
+/// One runtime event, as the engine saw it.
+///
+/// All quantities are integers: instants and durations in microseconds,
+/// megapixels in micro-megapixels (`_e6` suffix), identities as the raw
+/// id values the `tangram-types` newtypes wrap. Integer-only bodies make
+/// the canonical rendering (and therefore the hash chain and byte
+/// comparisons) immune to float formatting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// The run began: the configuration a replay must reproduce.
+    SessionStart {
+        /// Batching policy under test.
+        policy: String,
+        /// Engine seed.
+        seed: u64,
+        /// Camera sources registered at start.
+        cameras: u64,
+    },
+    /// Camera `camera` came online.
+    CameraJoin {
+        /// Raw camera id.
+        camera: u64,
+    },
+    /// Camera `camera` went offline.
+    CameraLeave {
+        /// Raw camera id.
+        camera: u64,
+    },
+    /// The admission policy ruled on an arrival, with the load signals
+    /// that justified the verdict.
+    AdmissionVerdict {
+        /// Raw id of the arriving patch/frame.
+        patch: u64,
+        /// The arrival's tenant SLO, microseconds.
+        slo_us: u64,
+        /// `true` = admitted, `false` = shed.
+        admitted: bool,
+        /// Queue-depth signal: admitted-but-undispatched work items
+        /// (fair-ingress residents included).
+        queued: u64,
+        /// Backend signal: in-flight invocations.
+        in_flight: u64,
+        /// Backend signal: when a batch submitted now would start, µs.
+        earliest_start_us: u64,
+    },
+    /// A weighted-DRR service round ran.
+    DrrRound {
+        /// Work items released to the batching policy this round.
+        released: u64,
+        /// Items still queued at the ingress after the round.
+        backlog: u64,
+    },
+    /// The policy dispatched a batch to the serverless platform.
+    BatchDispatch {
+        /// Zero-based dispatch index within the run.
+        batch: u64,
+        /// Patches whose results the invocation produces.
+        patches: u64,
+        /// Model inputs (canvases / padded patches / frames).
+        inputs: u64,
+        /// Work to execute, micro-megapixels.
+        megapixels_e6: u64,
+    },
+    /// A previously submitted invocation finished.
+    FunctionComplete {
+        /// Raw invocation id.
+        invocation: u64,
+        /// Batch size (inputs) of the completed invocation.
+        inputs: u64,
+        /// SLO violations among the batch's patches.
+        violations: u64,
+    },
+    /// The run drained: totals a consumer can check the stream against.
+    SessionEnd {
+        /// Frames injected by all cameras.
+        frames: u64,
+        /// Batches dispatched.
+        batches: u64,
+        /// Invocations completed.
+        completions: u64,
+        /// Arrivals shed at the ingress (admission + fair-ingress
+        /// overflow).
+        dropped: u64,
+        /// Run makespan, microseconds.
+        makespan_us: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The record's `"kind"` tag.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::SessionStart { .. } => "session.start",
+            TraceEvent::CameraJoin { .. } => "camera.join",
+            TraceEvent::CameraLeave { .. } => "camera.leave",
+            TraceEvent::AdmissionVerdict { .. } => "admission.verdict",
+            TraceEvent::DrrRound { .. } => "drr.round",
+            TraceEvent::BatchDispatch { .. } => "batch.dispatch",
+            TraceEvent::FunctionComplete { .. } => "function.complete",
+            TraceEvent::SessionEnd { .. } => "session.end",
+        }
+    }
+
+    /// Every kind tag, in a fixed order (stats tables).
+    pub const KINDS: [&'static str; 8] = [
+        "session.start",
+        "camera.join",
+        "camera.leave",
+        "admission.verdict",
+        "drr.round",
+        "batch.dispatch",
+        "function.complete",
+        "session.end",
+    ];
+
+    /// Appends the canonical `,"key":value` rendering of the event's
+    /// fields (key order fixed per kind).
+    pub(crate) fn render_fields(&self, out: &mut String) {
+        match self {
+            TraceEvent::SessionStart {
+                policy,
+                seed,
+                cameras,
+            } => {
+                out.push_str(",\"policy\":");
+                render_string(policy, out);
+                let _ = write!(out, ",\"seed\":{seed},\"cameras\":{cameras}");
+            }
+            TraceEvent::CameraJoin { camera } | TraceEvent::CameraLeave { camera } => {
+                let _ = write!(out, ",\"camera\":{camera}");
+            }
+            TraceEvent::AdmissionVerdict {
+                patch,
+                slo_us,
+                admitted,
+                queued,
+                in_flight,
+                earliest_start_us,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"patch\":{patch},\"slo_us\":{slo_us},\"admitted\":{admitted},\
+                     \"queued\":{queued},\"in_flight\":{in_flight},\
+                     \"earliest_start_us\":{earliest_start_us}"
+                );
+            }
+            TraceEvent::DrrRound { released, backlog } => {
+                let _ = write!(out, ",\"released\":{released},\"backlog\":{backlog}");
+            }
+            TraceEvent::BatchDispatch {
+                batch,
+                patches,
+                inputs,
+                megapixels_e6,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"batch\":{batch},\"patches\":{patches},\"inputs\":{inputs},\
+                     \"megapixels_e6\":{megapixels_e6}"
+                );
+            }
+            TraceEvent::FunctionComplete {
+                invocation,
+                inputs,
+                violations,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"invocation\":{invocation},\"inputs\":{inputs},\"violations\":{violations}"
+                );
+            }
+            TraceEvent::SessionEnd {
+                frames,
+                batches,
+                completions,
+                dropped,
+                makespan_us,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"frames\":{frames},\"batches\":{batches},\"completions\":{completions},\
+                     \"dropped\":{dropped},\"makespan_us\":{makespan_us}"
+                );
+            }
+        }
+    }
+
+    /// Rebuilds an event from its kind tag and parsed fields.
+    pub(crate) fn from_fields(kind: &str, fields: &Fields) -> Result<TraceEvent, String> {
+        Ok(match kind {
+            "session.start" => TraceEvent::SessionStart {
+                policy: fields.string("policy")?,
+                seed: fields.integer("seed")?,
+                cameras: fields.integer("cameras")?,
+            },
+            "camera.join" => TraceEvent::CameraJoin {
+                camera: fields.integer("camera")?,
+            },
+            "camera.leave" => TraceEvent::CameraLeave {
+                camera: fields.integer("camera")?,
+            },
+            "admission.verdict" => TraceEvent::AdmissionVerdict {
+                patch: fields.integer("patch")?,
+                slo_us: fields.integer("slo_us")?,
+                admitted: fields.boolean("admitted")?,
+                queued: fields.integer("queued")?,
+                in_flight: fields.integer("in_flight")?,
+                earliest_start_us: fields.integer("earliest_start_us")?,
+            },
+            "drr.round" => TraceEvent::DrrRound {
+                released: fields.integer("released")?,
+                backlog: fields.integer("backlog")?,
+            },
+            "batch.dispatch" => TraceEvent::BatchDispatch {
+                batch: fields.integer("batch")?,
+                patches: fields.integer("patches")?,
+                inputs: fields.integer("inputs")?,
+                megapixels_e6: fields.integer("megapixels_e6")?,
+            },
+            "function.complete" => TraceEvent::FunctionComplete {
+                invocation: fields.integer("invocation")?,
+                inputs: fields.integer("inputs")?,
+                violations: fields.integer("violations")?,
+            },
+            "session.end" => TraceEvent::SessionEnd {
+                frames: fields.integer("frames")?,
+                batches: fields.integer("batches")?,
+                completions: fields.integer("completions")?,
+                dropped: fields.integer("dropped")?,
+                makespan_us: fields.integer("makespan_us")?,
+            },
+            other => return Err(format!("unknown event kind {other:?}")),
+        })
+    }
+}
+
+/// Renders a JSON string literal (the only escapes trace strings need).
+pub(crate) fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parsed flat-JSON value (the trace alphabet needs no nesting).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum FieldValue {
+    String(String),
+    Integer(u64),
+    Boolean(bool),
+}
+
+/// The key/value pairs of one parsed record line.
+#[derive(Debug, Default)]
+pub(crate) struct Fields {
+    pub(crate) pairs: Vec<(String, FieldValue)>,
+}
+
+impl Fields {
+    fn get(&self, key: &str) -> Result<&FieldValue, String> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing field {key:?}"))
+    }
+
+    pub(crate) fn string(&self, key: &str) -> Result<String, String> {
+        match self.get(key)? {
+            FieldValue::String(s) => Ok(s.clone()),
+            other => Err(format!("field {key:?}: expected string, got {other:?}")),
+        }
+    }
+
+    pub(crate) fn integer(&self, key: &str) -> Result<u64, String> {
+        match self.get(key)? {
+            FieldValue::Integer(n) => Ok(*n),
+            other => Err(format!("field {key:?}: expected integer, got {other:?}")),
+        }
+    }
+
+    pub(crate) fn boolean(&self, key: &str) -> Result<bool, String> {
+        match self.get(key)? {
+            FieldValue::Boolean(b) => Ok(*b),
+            other => Err(format!("field {key:?}: expected bool, got {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_cover_every_variant() {
+        let events = [
+            TraceEvent::SessionStart {
+                policy: "Tangram".into(),
+                seed: 1,
+                cameras: 2,
+            },
+            TraceEvent::CameraJoin { camera: 0 },
+            TraceEvent::CameraLeave { camera: 0 },
+            TraceEvent::AdmissionVerdict {
+                patch: 9,
+                slo_us: 1_000_000,
+                admitted: true,
+                queued: 3,
+                in_flight: 1,
+                earliest_start_us: 77,
+            },
+            TraceEvent::DrrRound {
+                released: 4,
+                backlog: 2,
+            },
+            TraceEvent::BatchDispatch {
+                batch: 0,
+                patches: 5,
+                inputs: 2,
+                megapixels_e6: 2_097_152,
+            },
+            TraceEvent::FunctionComplete {
+                invocation: 3,
+                inputs: 2,
+                violations: 0,
+            },
+            TraceEvent::SessionEnd {
+                frames: 10,
+                batches: 4,
+                completions: 4,
+                dropped: 1,
+                makespan_us: 123,
+            },
+        ];
+        let mut kinds: Vec<&str> = events.iter().map(TraceEvent::kind).collect();
+        kinds.sort_unstable();
+        let mut expected = TraceEvent::KINDS.to_vec();
+        expected.sort_unstable();
+        assert_eq!(kinds, expected);
+    }
+
+    #[test]
+    fn string_rendering_escapes() {
+        let mut out = String::new();
+        render_string("a\"b\\c", &mut out);
+        assert_eq!(out, r#""a\"b\\c""#);
+    }
+}

@@ -1,0 +1,577 @@
+//! Records, the rolling hash chain, JSONL rendering/parsing and diffs.
+
+use crate::event::{render_string, FieldValue, Fields, TraceEvent};
+use std::fmt::Write as _;
+use tangram_types::time::SimTime;
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over `bytes`, continuing from `state`.
+fn fnv1a(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+/// The chain anchor: the `prev` value of a stream's first record.
+#[must_use]
+pub fn chain_seed() -> u64 {
+    fnv1a(FNV_OFFSET, b"tangram-trace-v1")
+}
+
+/// One emitted event plus its chain bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Monotonic sequence number, starting at 1.
+    pub seq: u64,
+    /// Sim-time of the event, integer microseconds since the epoch.
+    pub at_us: u64,
+    /// The previous record's hash ([`chain_seed`] for the first).
+    pub prev: u64,
+    /// FNV-1a over the previous hash and this record's canonical body.
+    pub hash: u64,
+    /// The event itself.
+    pub event: TraceEvent,
+}
+
+impl TraceRecord {
+    /// The canonical body: everything the hash covers.
+    fn body(seq: u64, at_us: u64, event: &TraceEvent) -> String {
+        let mut body = String::new();
+        let _ = write!(body, "\"seq\":{seq},\"at_us\":{at_us},\"kind\":");
+        render_string(event.kind(), &mut body);
+        event.render_fields(&mut body);
+        body
+    }
+
+    /// The hash this record must carry given its `prev`.
+    fn chain(seq: u64, at_us: u64, event: &TraceEvent, prev: u64) -> u64 {
+        let mut state = fnv1a(FNV_OFFSET, format!("{prev:016x}|").as_bytes());
+        state = fnv1a(state, Self::body(seq, at_us, event).as_bytes());
+        state
+    }
+
+    /// Renders the record as one JSONL line (no trailing newline).
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        let mut line = String::from("{");
+        line.push_str(&Self::body(self.seq, self.at_us, &self.event));
+        let _ = write!(
+            line,
+            ",\"prev\":\"{:016x}\",\"hash\":\"{:016x}\"}}",
+            self.prev, self.hash
+        );
+        line
+    }
+
+    /// Parses one JSONL line.
+    pub fn from_line(line: &str) -> Result<TraceRecord, String> {
+        let fields = parse_flat_object(line)?;
+        let kind = fields.string("kind")?;
+        let record = TraceRecord {
+            seq: fields.integer("seq")?,
+            at_us: fields.integer("at_us")?,
+            prev: parse_hex(&fields.string("prev")?)?,
+            hash: parse_hex(&fields.string("hash")?)?,
+            event: TraceEvent::from_fields(&kind, &fields)?,
+        };
+        Ok(record)
+    }
+
+    /// A compact human label: `seq 12: batch.dispatch @ 118000us`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!("seq {}: {} @ {}us", self.seq, self.event.kind(), self.at_us)
+    }
+}
+
+fn parse_hex(s: &str) -> Result<u64, String> {
+    u64::from_str_radix(s, 16).map_err(|e| format!("bad hash {s:?}: {e}"))
+}
+
+/// Parses one flat JSON object (string / integer / bool values only) —
+/// exactly the shape [`TraceRecord::to_line`] emits.
+fn parse_flat_object(line: &str) -> Result<Fields, String> {
+    let mut chars = line.trim().chars().peekable();
+    let mut fields = Fields::default();
+    if chars.next() != Some('{') {
+        return Err("expected '{'".into());
+    }
+    if chars.peek() == Some(&'}') {
+        chars.next();
+        return Ok(fields);
+    }
+    loop {
+        let key = parse_string(&mut chars)?;
+        if chars.next() != Some(':') {
+            return Err(format!("field {key:?}: expected ':'"));
+        }
+        let value = match chars.peek() {
+            Some('"') => FieldValue::String(parse_string(&mut chars)?),
+            Some('t') | Some('f') => {
+                let word: String = chars
+                    .clone()
+                    .take_while(|c| c.is_ascii_alphabetic())
+                    .collect();
+                for _ in 0..word.len() {
+                    chars.next();
+                }
+                match word.as_str() {
+                    "true" => FieldValue::Boolean(true),
+                    "false" => FieldValue::Boolean(false),
+                    other => return Err(format!("field {key:?}: bad literal {other:?}")),
+                }
+            }
+            Some(c) if c.is_ascii_digit() => {
+                let mut digits = String::new();
+                while chars.peek().is_some_and(char::is_ascii_digit) {
+                    digits.push(chars.next().expect("peeked"));
+                }
+                FieldValue::Integer(digits.parse().map_err(|e| format!("field {key:?}: {e}"))?)
+            }
+            other => return Err(format!("field {key:?}: unexpected {other:?}")),
+        };
+        fields.pairs.push((key, value));
+        match chars.next() {
+            Some(',') => {}
+            Some('}') => break,
+            other => return Err(format!("expected ',' or '}}', got {other:?}")),
+        }
+    }
+    if chars.next().is_some() {
+        return Err("trailing bytes after '}'".into());
+    }
+    Ok(fields)
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars>) -> Result<String, String> {
+    if chars.next() != Some('"') {
+        return Err("expected '\"'".into());
+    }
+    let mut s = String::new();
+    loop {
+        match chars.next() {
+            Some('"') => return Ok(s),
+            Some('\\') => match chars.next() {
+                Some('"') => s.push('"'),
+                Some('\\') => s.push('\\'),
+                Some('n') => s.push('\n'),
+                other => return Err(format!("bad escape {other:?}")),
+            },
+            Some(c) => s.push(c),
+            None => return Err("unterminated string".into()),
+        }
+    }
+}
+
+/// The recorder the engine writes into: appends records, maintaining the
+/// sequence numbers and the hash chain.
+#[derive(Debug, Default)]
+pub struct TraceSink {
+    records: Vec<TraceRecord>,
+    prev: Option<u64>,
+}
+
+impl TraceSink {
+    /// An empty sink, chain anchored at [`chain_seed`].
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends `event` observed at sim-time `at`.
+    pub fn emit(&mut self, at: SimTime, event: TraceEvent) {
+        let at_us = at.since(SimTime::ZERO).as_micros();
+        debug_assert!(
+            self.records.last().is_none_or(|r| r.at_us <= at_us),
+            "trace time must be monotonic"
+        );
+        let seq = self.records.len() as u64 + 1;
+        let prev = self.prev.unwrap_or_else(chain_seed);
+        let hash = TraceRecord::chain(seq, at_us, &event, prev);
+        self.prev = Some(hash);
+        self.records.push(TraceRecord {
+            seq,
+            at_us,
+            prev,
+            hash,
+            event,
+        });
+    }
+
+    /// Number of records emitted so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether nothing was emitted yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Seals the stream.
+    #[must_use]
+    pub fn finish(self) -> TraceLog {
+        TraceLog {
+            records: self.records,
+        }
+    }
+}
+
+/// Where a candidate trace first leaves its baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceDivergence {
+    /// Sequence number of the first differing record (one side may have
+    /// ended before it).
+    pub seq: u64,
+    /// The baseline's record at `seq`, if it has one.
+    pub baseline: Option<TraceRecord>,
+    /// The candidate's record at `seq`, if it has one.
+    pub candidate: Option<TraceRecord>,
+}
+
+impl TraceDivergence {
+    /// A one-line human description naming the first divergent event.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match (&self.baseline, &self.candidate) {
+            (Some(b), Some(c)) if b.event.kind() == c.event.kind() => format!(
+                "first divergence at seq {}: {} differs\n  baseline:  {}\n  candidate: {}",
+                self.seq,
+                b.event.kind(),
+                b.to_line(),
+                c.to_line()
+            ),
+            (Some(b), Some(c)) => format!(
+                "first divergence at seq {}: baseline {} vs candidate {}\n  baseline:  {}\n  candidate: {}",
+                self.seq,
+                b.event.kind(),
+                c.event.kind(),
+                b.to_line(),
+                c.to_line()
+            ),
+            (Some(b), None) => format!(
+                "first divergence at seq {}: candidate ended early (baseline has {})",
+                self.seq,
+                b.label()
+            ),
+            (None, Some(c)) => format!(
+                "first divergence at seq {}: baseline ended, candidate continues with {}",
+                self.seq,
+                c.label()
+            ),
+            (None, None) => "no divergence".into(),
+        }
+    }
+}
+
+/// Event-level counts folded out of a trace, for checking a stream
+/// against the run report it narrates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayCounts {
+    /// Batches dispatched (`batch.dispatch` records).
+    pub batches: u64,
+    /// Patches across all dispatched batches.
+    pub patches: u64,
+    /// Invocations completed (`function.complete` records).
+    pub completions: u64,
+    /// Arrivals shed by admission (`admission.verdict` with
+    /// `admitted:false`; fair-ingress overflow sheds are not verdicts
+    /// and do not appear here).
+    pub dropped: u64,
+}
+
+/// A sealed, verifiable event stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceLog {
+    /// Records in emission order.
+    pub records: Vec<TraceRecord>,
+}
+
+impl TraceLog {
+    /// Renders the whole log as JSONL (one record per line, trailing
+    /// newline included when non-empty).
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for record in &self.records {
+            out.push_str(&record.to_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a JSONL rendering. Blank lines are ignored; the chain is
+    /// *not* checked — call [`TraceLog::verify`] for that.
+    pub fn from_jsonl(text: &str) -> Result<TraceLog, String> {
+        let mut records = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            records.push(TraceRecord::from_line(line).map_err(|e| format!("line {}: {e}", i + 1))?);
+        }
+        Ok(TraceLog { records })
+    }
+
+    /// Checks sequence monotonicity (1, 2, 3, …), time monotonicity and
+    /// the hash chain, returning the first violation.
+    pub fn verify(&self) -> Result<(), String> {
+        let mut prev_hash = chain_seed();
+        let mut prev_at = 0u64;
+        for (i, record) in self.records.iter().enumerate() {
+            let want_seq = i as u64 + 1;
+            if record.seq != want_seq {
+                return Err(format!(
+                    "record {}: seq {} breaks the 1..n sequence (expected {want_seq})",
+                    i + 1,
+                    record.seq
+                ));
+            }
+            if record.at_us < prev_at {
+                return Err(format!(
+                    "{}: time runs backwards ({} < {prev_at})",
+                    record.label(),
+                    record.at_us
+                ));
+            }
+            if record.prev != prev_hash {
+                return Err(format!(
+                    "{}: chain broken (prev {:016x}, expected {prev_hash:016x})",
+                    record.label(),
+                    record.prev
+                ));
+            }
+            let want = TraceRecord::chain(record.seq, record.at_us, &record.event, record.prev);
+            if record.hash != want {
+                return Err(format!(
+                    "{}: hash mismatch ({:016x}, expected {want:016x})",
+                    record.label(),
+                    record.hash
+                ));
+            }
+            prev_hash = record.hash;
+            prev_at = record.at_us;
+        }
+        Ok(())
+    }
+
+    /// The last record's hash — a digest of the whole stream.
+    #[must_use]
+    pub fn final_hash(&self) -> u64 {
+        self.records.last().map_or_else(chain_seed, |r| r.hash)
+    }
+
+    /// The first record where `self` (baseline) and `candidate` differ.
+    #[must_use]
+    pub fn first_divergence(&self, candidate: &TraceLog) -> Option<TraceDivergence> {
+        let n = self.records.len().max(candidate.records.len());
+        for i in 0..n {
+            let b = self.records.get(i);
+            let c = candidate.records.get(i);
+            if b != c {
+                return Some(TraceDivergence {
+                    seq: i as u64 + 1,
+                    baseline: b.cloned(),
+                    candidate: c.cloned(),
+                });
+            }
+        }
+        None
+    }
+
+    /// Record counts per event kind, in [`TraceEvent::KINDS`] order.
+    #[must_use]
+    pub fn stats(&self) -> Vec<(&'static str, usize)> {
+        TraceEvent::KINDS
+            .iter()
+            .map(|&kind| {
+                (
+                    kind,
+                    self.records
+                        .iter()
+                        .filter(|r| r.event.kind() == kind)
+                        .count(),
+                )
+            })
+            .collect()
+    }
+
+    /// Folds the per-event records into totals (see [`ReplayCounts`]).
+    #[must_use]
+    pub fn replay_counts(&self) -> ReplayCounts {
+        let mut counts = ReplayCounts::default();
+        for record in &self.records {
+            match &record.event {
+                TraceEvent::BatchDispatch { patches, .. } => {
+                    counts.batches += 1;
+                    counts.patches += patches;
+                }
+                TraceEvent::FunctionComplete { .. } => counts.completions += 1,
+                TraceEvent::AdmissionVerdict {
+                    admitted: false, ..
+                } => counts.dropped += 1,
+                _ => {}
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TraceLog {
+        let mut sink = TraceSink::new();
+        sink.emit(
+            SimTime::ZERO,
+            TraceEvent::SessionStart {
+                policy: "Tangram".into(),
+                seed: 7,
+                cameras: 1,
+            },
+        );
+        sink.emit(
+            SimTime::from_micros(5),
+            TraceEvent::CameraJoin { camera: 3 },
+        );
+        sink.emit(
+            SimTime::from_micros(90),
+            TraceEvent::AdmissionVerdict {
+                patch: 11,
+                slo_us: 1_000_000,
+                admitted: false,
+                queued: 6,
+                in_flight: 2,
+                earliest_start_us: 120,
+            },
+        );
+        sink.emit(
+            SimTime::from_micros(100),
+            TraceEvent::BatchDispatch {
+                batch: 0,
+                patches: 4,
+                inputs: 2,
+                megapixels_e6: 2_097_152,
+            },
+        );
+        sink.emit(
+            SimTime::from_micros(400),
+            TraceEvent::FunctionComplete {
+                invocation: 0,
+                inputs: 2,
+                violations: 1,
+            },
+        );
+        sink.finish()
+    }
+
+    #[test]
+    fn sequence_and_chain_are_monotonic_and_verified() {
+        let log = sample();
+        assert_eq!(
+            log.records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4, 5]
+        );
+        // Each record chains off its predecessor.
+        for pair in log.records.windows(2) {
+            assert_eq!(pair[1].prev, pair[0].hash);
+            assert!(pair[1].at_us >= pair[0].at_us);
+        }
+        assert_eq!(log.records[0].prev, chain_seed());
+        log.verify().expect("freshly emitted chain verifies");
+        assert_eq!(log.final_hash(), log.records.last().unwrap().hash);
+    }
+
+    #[test]
+    fn jsonl_round_trips_byte_exactly() {
+        let log = sample();
+        let text = log.to_jsonl();
+        let parsed = TraceLog::from_jsonl(&text).expect("parses");
+        assert_eq!(parsed, log);
+        assert_eq!(parsed.to_jsonl(), text, "render(parse(x)) == x");
+        parsed.verify().expect("chain survives the round trip");
+    }
+
+    #[test]
+    fn tampering_breaks_the_chain() {
+        let mut log = sample();
+        // Flip one field of record 3; its own hash no longer matches.
+        if let TraceEvent::AdmissionVerdict { queued, .. } = &mut log.records[2].event {
+            *queued += 1;
+        }
+        let err = log.verify().expect_err("tamper detected");
+        assert!(err.contains("seq 3"), "{err}");
+
+        // Splicing record 3 out breaks the sequence numbering.
+        let mut spliced = sample();
+        spliced.records.remove(2);
+        assert!(spliced.verify().is_err());
+    }
+
+    #[test]
+    fn first_divergence_names_the_event() {
+        let base = sample();
+        let mut cand = sample();
+        if let TraceEvent::BatchDispatch { patches, .. } = &mut cand.records[3].event {
+            *patches = 9;
+        }
+        let div = base.first_divergence(&cand).expect("diverges");
+        assert_eq!(div.seq, 4);
+        assert!(
+            div.describe().contains("batch.dispatch"),
+            "{}",
+            div.describe()
+        );
+        assert_eq!(base.first_divergence(&sample()), None);
+
+        // A truncated candidate diverges at the missing record.
+        let mut short = sample();
+        short.records.pop();
+        let div = base.first_divergence(&short).expect("diverges");
+        assert_eq!(div.seq, 5);
+        assert!(div.candidate.is_none());
+    }
+
+    #[test]
+    fn replay_counts_fold_the_stream() {
+        let counts = sample().replay_counts();
+        assert_eq!(
+            counts,
+            ReplayCounts {
+                batches: 1,
+                patches: 4,
+                completions: 1,
+                dropped: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn stats_count_by_kind() {
+        let stats = sample().stats();
+        let get = |k: &str| stats.iter().find(|(kind, _)| *kind == k).unwrap().1;
+        assert_eq!(get("session.start"), 1);
+        assert_eq!(get("camera.join"), 1);
+        assert_eq!(get("batch.dispatch"), 1);
+        assert_eq!(get("session.end"), 0);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(TraceRecord::from_line("{\"seq\":1").is_err());
+        assert!(TraceRecord::from_line("not json").is_err());
+        assert!(TraceRecord::from_line(
+            "{\"seq\":1,\"at_us\":0,\"kind\":\"bogus.kind\",\"prev\":\"0\",\"hash\":\"0\"}"
+        )
+        .is_err());
+    }
+}

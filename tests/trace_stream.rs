@@ -1,0 +1,138 @@
+//! Contracts of the runtime event trace (`tangram_trace`): capture is
+//! deterministic across worker counts, inert with respect to the run
+//! itself, faithful to the report's counters, and — through the hash
+//! chain — able to name the exact event where two runs diverge.
+
+use tangram_harness::presets::golden_trace_grid;
+use tangram_harness::run_grid_full;
+use tangram_trace::{TraceEvent, TraceLog, TraceSink};
+use tangram_types::time::SimTime;
+
+fn capture(which: &str, workers: usize) -> (tangram_core::RunReport, TraceLog) {
+    let grid = golden_trace_grid(which, 42).expect("known golden cell");
+    let mut outcomes = run_grid_full(&grid, workers);
+    assert_eq!(outcomes.len(), 1, "golden grids are single-cell");
+    let outcome = outcomes.pop().expect("one cell");
+    let trace = outcome.trace.expect("golden grids opt into capture");
+    (outcome.report, trace)
+}
+
+/// The chain verifies, sequence numbers are dense from 1, and the
+/// stream is bracketed by session start/end events.
+#[test]
+fn captured_trace_has_a_valid_monotonic_chain() {
+    for which in ["smoke", "overload"] {
+        let (_, trace) = capture(which, 2);
+        trace.verify().expect("chain must verify");
+        for (i, record) in trace.records.iter().enumerate() {
+            assert_eq!(record.seq, i as u64 + 1, "{which}: dense 1-based seq");
+        }
+        assert_eq!(
+            trace.records.first().map(|r| r.event.kind()),
+            Some("session.start")
+        );
+        assert_eq!(
+            trace.records.last().map(|r| r.event.kind()),
+            Some("session.end")
+        );
+    }
+}
+
+/// One worker or four: the captured JSONL is byte-identical — the trace
+/// inherits the engine's determinism contract.
+#[test]
+fn capture_is_byte_identical_across_worker_counts() {
+    for which in ["smoke", "overload"] {
+        let (_, sequential) = capture(which, 1);
+        let (_, parallel) = capture(which, 4);
+        assert_eq!(
+            sequential.to_jsonl(),
+            parallel.to_jsonl(),
+            "{which}: golden trace must not depend on worker count"
+        );
+    }
+}
+
+/// Recording a trace never perturbs the run: the report digest with the
+/// sink installed equals the digest of the same cell without it.
+#[test]
+fn capture_does_not_perturb_the_run_digest() {
+    for which in ["smoke", "overload"] {
+        let (traced_report, _) = capture(which, 2);
+        let mut grid = golden_trace_grid(which, 42).expect("known golden cell");
+        grid.capture_traces = false;
+        let mut outcomes = run_grid_full(&grid, 2);
+        let outcome = outcomes.pop().expect("one cell");
+        assert!(outcome.trace.is_none(), "capture off ⇒ no trace");
+        assert_eq!(
+            outcome.report.summarize(),
+            traced_report.summarize(),
+            "{which}: the trace sink must be observation-only"
+        );
+    }
+}
+
+/// Replaying the event stream reproduces the run's counters — the trace
+/// is a faithful account of the run, not a parallel bookkeeping.
+#[test]
+fn replaying_the_trace_reproduces_the_run_counters() {
+    for which in ["smoke", "overload"] {
+        let (report, trace) = capture(which, 2);
+        let counts = trace.replay_counts();
+        assert_eq!(counts.batches, report.batches.len() as u64, "{which}");
+        assert_eq!(counts.patches, report.patches.len() as u64, "{which}");
+        assert_eq!(counts.completions, report.batches.len() as u64, "{which}");
+        assert_eq!(counts.dropped, report.dropped_arrivals, "{which}");
+    }
+}
+
+/// The JSONL round-trips losslessly: parse(to_jsonl(log)) == log.
+#[test]
+fn trace_round_trips_through_jsonl() {
+    let (_, trace) = capture("overload", 2);
+    let reparsed = TraceLog::from_jsonl(&trace.to_jsonl()).expect("round-trip parses");
+    reparsed.verify().expect("round-trip chain verifies");
+    assert_eq!(reparsed, trace);
+}
+
+/// A deliberately perturbed copy of a golden trace is pinned to its
+/// first divergent event by sequence number and kind — the event-level
+/// gate's contract (`bench_gate --trace`).
+#[test]
+fn divergence_names_the_first_differing_event() {
+    let (_, golden) = capture("overload", 2);
+    // Rebuild the stream through a fresh sink, flipping the verdict of
+    // the first admission drop: a valid chain that disagrees with the
+    // golden trace at exactly that record.
+    let mut sink = TraceSink::new();
+    let mut flipped_at = None;
+    for record in &golden.records {
+        let mut event = record.event.clone();
+        if flipped_at.is_none() {
+            if let TraceEvent::AdmissionVerdict { admitted, .. } = &mut event {
+                if !*admitted {
+                    *admitted = true;
+                    flipped_at = Some(record.seq);
+                }
+            }
+        }
+        sink.emit(SimTime::from_micros(record.at_us), event);
+    }
+    let candidate = sink.finish();
+    candidate.verify().expect("perturbed chain still verifies");
+    let flipped_at = flipped_at.expect("the overload golden cell sheds work");
+
+    let divergence = golden
+        .first_divergence(&candidate)
+        .expect("flipping a verdict must diverge");
+    assert_eq!(divergence.seq, flipped_at, "first divergence at the flip");
+    let description = divergence.describe();
+    assert!(
+        description.contains(&format!("seq {flipped_at}")),
+        "description names the sequence number: {description}"
+    );
+    assert!(
+        description.contains("admission.verdict"),
+        "description names the event kind: {description}"
+    );
+}
