@@ -1,0 +1,51 @@
+//! Criterion bench for the arena-backed event queue — the hot path of
+//! every engine run (one push/pop pair per simulated event).
+//!
+//! Two shapes matter: a churn loop that holds the queue at steady depth
+//! (the streaming engine's regime, where the arena free list should make
+//! payload slots allocation-free) and a drain that fills then empties
+//! the queue (the trace-replay regime).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tangram_sim::event::EventQueue;
+use tangram_types::time::SimTime;
+
+/// Payload sized like the engine's boxed event enum slot.
+type Payload = [u64; 4];
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_churn_depth64", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<Payload> = EventQueue::new();
+            for i in 0..64u64 {
+                q.push(SimTime::from_micros(i), [i; 4]);
+            }
+            // 4k push/pop pairs at constant depth: every push after the
+            // warm-up must come from the free list.
+            for i in 64..4096u64 {
+                let _ = q.pop();
+                q.push(SimTime::from_micros(i), [i; 4]);
+            }
+            while q.pop().is_some() {}
+            q
+        });
+    });
+    c.bench_function("event_queue_fill_drain_4096", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<Payload> = EventQueue::new();
+            // Reversed insertion order stresses the heap, not just the
+            // arena.
+            for i in (0..4096u64).rev() {
+                q.push(SimTime::from_micros(i), [i; 4]);
+            }
+            let mut sum = 0u64;
+            while let Some((at, _)) = q.pop() {
+                sum = sum.wrapping_add(at.as_micros());
+            }
+            sum
+        });
+    });
+}
+
+criterion_group!(benches, bench_event_queue);
+criterion_main!(benches);

@@ -66,6 +66,7 @@ pub mod policy;
 pub mod report;
 pub mod runtime;
 pub mod scheduler;
+mod shard;
 pub mod workload;
 
 pub use admission::{

@@ -93,6 +93,12 @@ pub struct RunReport {
     pub transmission_busy: SimDuration,
     /// Simulated makespan of the run.
     pub makespan: SimDuration,
+    /// Events popped off the engine's coordinator loop — the wall-clock
+    /// perf denominator `bench_throughput` reports events/sec over.
+    /// Deterministic (a pure function of the workload, identical at any
+    /// shard count) but *not* part of [`RunSummary`]: it measures the
+    /// runtime, not the policy.
+    pub events_processed: u64,
 }
 
 impl RunReport {
@@ -448,6 +454,7 @@ mod tests {
             ingress_admitted: vec![],
             transmission_busy: SimDuration::ZERO,
             makespan: SimDuration::from_secs(1),
+            events_processed: 0,
         }
     }
 

@@ -1,0 +1,341 @@
+//! The sharded capture plane: camera generators running on worker
+//! threads, feeding the coordinator's deterministic merge.
+//!
+//! # Determinism model
+//!
+//! The engine's correctness contract is *byte identity*: a run at any
+//! shard count must produce the same digests, BENCH json and runtime
+//! trace as the single-threaded run. That rules out sharding anything
+//! that touches shared state (the uplink, admission, the DRR ingress,
+//! the batching policy, the serverless platform) — their handlers must
+//! observe events in one globally-defined order. What *can* leave the
+//! coordinator is the per-camera generation work, which is by
+//! construction camera-local:
+//!
+//! * drawing the next inter-arrival gap from the source's own
+//!   [`tangram_sim::rng::DetRng`] (Poisson / bursty / diurnal processes
+//!   never read shared state — see
+//!   [`crate::online::CameraSource::link_independent`]),
+//! * cloning the content-pool frame and re-stamping its ids,
+//! * materialising the frame into the `(Arrival, Bytes)` work items the
+//!   coordinator will feed to the uplink.
+//!
+//! Each shard owns a disjoint set of cameras and replays exactly the
+//! per-camera call sequence the inline engine would have made —
+//! `next_frame` → [`materialize_frame`] → `next_capture` — on its own
+//! [`EventLoop`], so every RNG draw and every id stamp is bit-identical
+//! to the 1-shard run. The coordinator keeps its own event queue of
+//! `Capture` events (timed by the shards' reported next-capture
+//! instants), which makes its merge order — and therefore everything
+//! downstream — independent of thread scheduling: the only
+//! nondeterminism left is *when* a pre-computed message arrives, never
+//! *what* it contains or in which order it is consumed.
+//!
+//! # Flow control
+//!
+//! Messages flow coordinator-ward through one vendored-crossbeam MPMC
+//! channel per shard; a credit channel flows the other way. A shard
+//! takes one credit before producing each capture, and the coordinator
+//! returns one credit per message it pulls off the channel — even when
+//! the message is buffered for a different camera — so shards run up to
+//! [`CREDIT_WINDOW`] captures ahead but can never be starved into a
+//! deadlock: the coordinator only ever blocks on a channel whose shard
+//! holds at least one credit.
+
+use crate::online::CameraSource;
+use crate::policy::{Arrival, FrameArrival};
+use crate::workload::TraceFrame;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::VecDeque;
+use tangram_sim::driver::EventLoop;
+use tangram_types::geometry::{Rect, Size};
+use tangram_types::ids::{CameraId, PatchId};
+use tangram_types::patch::{Patch, PatchInfo};
+use tangram_types::time::{SimDuration, SimTime};
+use tangram_types::units::Bytes;
+
+/// How many captures a shard may run ahead of the coordinator. Large
+/// enough to hide hand-off latency, small enough to bound speculative
+/// work for cameras the coordinator has already deactivated.
+const CREDIT_WINDOW: usize = 1024;
+
+/// Which wire representation [`materialize_frame`] builds — derived
+/// once from the engine's [`crate::engine::PolicyKind`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum MaterializeKind {
+    /// Patch-based policies ship every RoI patch separately.
+    Patch {
+        /// ELF re-encodes patches (different byte sizes per patch).
+        elf: bool,
+    },
+    /// Frame-based baselines ship one oversized "patch" per frame.
+    Frame {
+        /// Masked-frame transfers background-suppressed bytes.
+        masked: bool,
+    },
+}
+
+impl MaterializeKind {
+    /// The wire representation for `policy`.
+    pub(crate) fn of(policy: crate::engine::PolicyKind) -> Self {
+        if policy.patch_based() {
+            Self::Patch {
+                elf: policy == crate::engine::PolicyKind::Elf,
+            }
+        } else {
+            Self::Frame {
+                masked: policy == crate::engine::PolicyKind::MaskedFrame,
+            }
+        }
+    }
+}
+
+/// Everything a shard needs to materialise captures exactly as the
+/// inline engine would.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct MaterializeSpec {
+    /// Wire representation (patch- vs frame-based, ELF/masked variants).
+    pub kind: MaterializeKind,
+    /// Engine default SLO for sources without a tenant override.
+    pub default_slo: SimDuration,
+    /// Engine capture period (unused by open-loop sources, passed for
+    /// call-sequence fidelity).
+    pub frame_interval: SimDuration,
+}
+
+/// Turns one captured frame into the `(Arrival, Bytes)` work items the
+/// engine feeds to the uplink, in wire order. Shared verbatim by the
+/// inline capture path and the shard threads — one source of truth for
+/// id stamping, byte selection and SLO stamping.
+pub(crate) fn materialize_frame(
+    frame: &TraceFrame,
+    camera_id: CameraId,
+    slo: SimDuration,
+    generated_at: SimTime,
+    kind: MaterializeKind,
+) -> Vec<(Arrival, Bytes)> {
+    match kind {
+        MaterializeKind::Patch { elf } => frame
+            .patches
+            .iter()
+            .enumerate()
+            .map(|(i, patch)| {
+                let bytes = if elf {
+                    frame.elf_patch_bytes[i]
+                } else {
+                    patch.encoded_size
+                };
+                let info = PatchInfo {
+                    generated_at,
+                    slo,
+                    ..patch.info
+                };
+                (Arrival::Patch(Patch::new(info, bytes)), bytes)
+            })
+            .collect(),
+        MaterializeKind::Frame { masked } => {
+            let bytes = if masked {
+                frame.masked_frame_bytes
+            } else {
+                frame.full_frame_bytes
+            };
+            let mpx = if masked {
+                frame.masked_megapixels
+            } else {
+                frame.full_megapixels
+            };
+            // The frame travels as one oversized "patch".
+            let base = frame.patches.first().map_or_else(
+                || PatchInfo {
+                    id: PatchId::new(
+                        (u64::from(camera_id.raw()) << 40) | (1 << 39) | frame.frame.raw(),
+                    ),
+                    camera: camera_id,
+                    frame: frame.frame,
+                    rect: Rect::from_size(Size::UHD_4K),
+                    generated_at,
+                    slo,
+                },
+                |p| PatchInfo {
+                    id: PatchId::new(p.info.id.raw() | (1 << 39)),
+                    rect: Rect::from_size(Size::UHD_4K),
+                    generated_at,
+                    slo,
+                    ..p.info
+                },
+            );
+            vec![(
+                Arrival::Frame(FrameArrival {
+                    info: base,
+                    effective_megapixels: mpx,
+                }),
+                bytes,
+            )]
+        }
+    }
+}
+
+/// One pre-computed capture, produced shard-side.
+#[derive(Debug)]
+pub(crate) enum ShardCapture {
+    /// The camera produced a frame at the scheduled capture instant.
+    Frame {
+        /// The frame's wire items, in uplink order.
+        arrivals: Vec<(Arrival, Bytes)>,
+        /// When the camera captures next (`None` once exhausted).
+        next: Option<SimTime>,
+    },
+    /// The camera's stream ended (`next_frame` returned `None`).
+    End,
+}
+
+/// A capture tagged with its engine camera index for demultiplexing.
+#[derive(Debug)]
+struct ShardMsg {
+    cam: usize,
+    capture: ShardCapture,
+}
+
+/// A camera handed to a shard: engine camera index, join instant, and
+/// the source itself.
+pub(crate) type ShardCamera = (usize, SimTime, Box<dyn CameraSource>);
+
+/// The body of one shard thread: a private [`EventLoop`] over this
+/// shard's cameras, replaying the inline engine's per-camera call
+/// sequence and streaming the results to the coordinator.
+fn shard_main(
+    mut cameras: Vec<ShardCamera>,
+    spec: MaterializeSpec,
+    tx: &Sender<ShardMsg>,
+    credits: &Receiver<()>,
+) {
+    let mut events: EventLoop<usize> = EventLoop::new();
+    for (local, (_, join_at, _)) in cameras.iter().enumerate() {
+        events.schedule(*join_at, local);
+    }
+    while let Some((now, local)) = events.step() {
+        // One credit per produced capture; a closed credit channel means
+        // the coordinator is done with us.
+        if credits.recv().is_err() {
+            return;
+        }
+        let (cam, _, source) = &mut cameras[local];
+        let capture = match source.next_frame() {
+            None => ShardCapture::End,
+            Some(frame) => {
+                let slo = source.slo().unwrap_or(spec.default_slo);
+                let arrivals = materialize_frame(&frame, source.camera(), slo, now, spec.kind);
+                // Link-independent sources ignore the uplink argument;
+                // passing zero keeps the RNG call sequence identical to
+                // the inline engine's.
+                let next = source.next_capture(now, spec.frame_interval, SimTime::ZERO);
+                let next = (!source.is_exhausted()).then_some(next);
+                if let Some(at) = next {
+                    events.schedule(at, local);
+                }
+                ShardCapture::Frame { arrivals, next }
+            }
+        };
+        if tx.send(ShardMsg { cam: *cam, capture }).is_err() {
+            return;
+        }
+    }
+}
+
+/// The coordinator's handle on the shard threads: per-shard channels,
+/// credit returns, and per-camera demux buffers.
+pub(crate) struct ShardSet {
+    /// Engine camera index → owning shard.
+    shard_of: Vec<Option<usize>>,
+    rxs: Vec<Receiver<ShardMsg>>,
+    credit_txs: Vec<Sender<()>>,
+    /// Captures received but not yet consumed, per engine camera.
+    buffers: Vec<VecDeque<ShardCapture>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ShardSet {
+    /// Spawns one thread per camera partition and primes the credit
+    /// windows. `camera_count` is the engine's full camera-table size
+    /// (for the demux buffers).
+    pub(crate) fn spawn(
+        partitions: Vec<Vec<ShardCamera>>,
+        spec: MaterializeSpec,
+        camera_count: usize,
+    ) -> Self {
+        let mut shard_of = vec![None; camera_count];
+        let mut rxs = Vec::with_capacity(partitions.len());
+        let mut credit_txs = Vec::with_capacity(partitions.len());
+        let mut handles = Vec::with_capacity(partitions.len());
+        for (shard, cameras) in partitions.into_iter().enumerate() {
+            for (cam, _, _) in &cameras {
+                shard_of[*cam] = Some(shard);
+            }
+            let (tx, rx) = unbounded::<ShardMsg>();
+            let (credit_tx, credit_rx) = unbounded::<()>();
+            for _ in 0..CREDIT_WINDOW {
+                let _ = credit_tx.send(());
+            }
+            handles.push(std::thread::spawn(move || {
+                shard_main(cameras, spec, &tx, &credit_rx);
+            }));
+            rxs.push(rx);
+            credit_txs.push(credit_tx);
+        }
+        Self {
+            shard_of,
+            rxs,
+            credit_txs,
+            buffers: (0..camera_count).map(|_| VecDeque::new()).collect(),
+            handles,
+        }
+    }
+
+    /// The next pre-computed capture for camera `cam`, demultiplexing
+    /// (and crediting) the owning shard's channel as needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cam` is not sharded or its shard died before
+    /// delivering the capture — both are engine invariant violations,
+    /// not runtime conditions.
+    pub(crate) fn next_for(&mut self, cam: usize) -> ShardCapture {
+        let shard = self.shard_of[cam].expect("camera is not sharded");
+        loop {
+            if let Some(capture) = self.buffers[cam].pop_front() {
+                return capture;
+            }
+            let msg = self.rxs[shard]
+                .recv()
+                .expect("shard thread died before draining its cameras");
+            // Return the credit for every message pulled off the channel
+            // — including ones buffered for other cameras — so the shard
+            // is never starved while the coordinator still waits on it.
+            let _ = self.credit_txs[shard].send(());
+            self.buffers[msg.cam].push_back(msg.capture);
+        }
+    }
+
+    /// Tears the shard plane down: closes both channel directions so
+    /// every shard thread unblocks and exits, then joins them.
+    pub(crate) fn shutdown(self) {
+        drop(self.credit_txs);
+        drop(self.rxs);
+        drop(self.buffers);
+        for handle in self.handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardSet")
+            .field("shards", &self.rxs.len())
+            .field(
+                "sharded_cameras",
+                &self.shard_of.iter().filter(|s| s.is_some()).count(),
+            )
+            .finish()
+    }
+}

@@ -357,6 +357,12 @@ pub struct SweepGrid {
     /// `BENCH_*.json` schema (trace capture never changes report bytes),
     /// so `from_json` always reconstructs it as `false`.
     pub capture_traces: bool,
+    /// Engine shard count for streaming-scenario cells (see
+    /// [`tangram_core::online::OnlineEngine::set_shards`]). Execution-only
+    /// like `capture_traces`: sharding is byte-invisible in every report,
+    /// so the field is *not* serialized and `from_json` reconstructs it
+    /// as 1.
+    pub shards: usize,
 }
 
 impl SweepGrid {
@@ -379,6 +385,7 @@ impl SweepGrid {
             admission: Vec::new(),
             fairness: Vec::new(),
             capture_traces: false,
+            shards: 1,
         }
     }
 

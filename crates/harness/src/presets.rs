@@ -12,7 +12,7 @@ use crate::grid::{
 use tangram_core::engine::{EngineConfig, PolicyKind};
 use tangram_core::workload::{CameraTrace, TraceConfig};
 use tangram_sim::rng::DetRng;
-use tangram_types::ids::SceneId;
+use tangram_types::ids::{CameraId, SceneId};
 use tangram_types::time::SimDuration;
 use tangram_video::generator::{SceneSimulation, VideoConfig};
 use tangram_vision::detector::DetectorProxy;
@@ -342,6 +342,61 @@ pub fn fairness_grid(seed: u64, frames_per_camera: usize, smoke: bool) -> SweepG
     grid
 }
 
+/// Camera count of the full city-scale preset (the `bench_throughput`
+/// workload); smoke mode runs [`CITY_SCALE_SMOKE_CAMERAS`].
+pub const CITY_SCALE_CAMERAS: usize = 32;
+
+/// Camera count of the CI-sized city-scale smoke preset.
+pub const CITY_SCALE_SMOKE_CAMERAS: usize = 12;
+
+/// The content pools of the city-scale preset: `cameras` cameras cycling
+/// the five synthetic scenes. Each trace's camera id is re-stamped with
+/// the camera index — the trace builder derives ids from the *scene*, so
+/// without the override two cameras on the same scene would collide (and
+/// so would their generated patch ids, which embed the camera id).
+#[must_use]
+pub fn city_scale_traces(cameras: usize, pool_frames: usize, seed: u64) -> Vec<CameraTrace> {
+    let scenes: Vec<SceneId> = SceneId::all().collect();
+    (0..cameras)
+        .map(|cam| {
+            let scene = scenes[cam % scenes.len()];
+            let mut trace = build_trace(scene, pool_frames, seed, TraceKind::Proxy);
+            trace.camera = CameraId::new(cam as u32);
+            trace
+        })
+        .collect()
+}
+
+/// The city-scale streaming scenario: open-loop Poisson cameras with the
+/// standard tenant mix, joining in a short stagger. Every camera is
+/// link-independent, so the whole fleet is eligible for sharding — the
+/// workload `bench_throughput` scales across cores.
+#[must_use]
+pub fn city_scale_scenario(frames_per_camera: usize) -> ScenarioSpec {
+    ScenarioSpec {
+        arrival: ArrivalSpec::Poisson { fps: 6.0 },
+        frames_per_camera,
+        join_stagger_s: 0.25,
+        session_s: None,
+        tenant_slos_s: TENANT_MIX_SLOS_S.to_vec(),
+    }
+}
+
+/// The engine configuration of the city-scale preset: Tangram on a wide
+/// uplink with unlimited scale-out, so neither the link nor the backend
+/// cap serialises the fleet and the measured events/sec reflects the
+/// runtime, not a saturated bottleneck.
+#[must_use]
+pub fn city_scale_engine(seed: u64) -> EngineConfig {
+    EngineConfig {
+        policy: PolicyKind::Tangram,
+        bandwidth_mbps: 200.0,
+        max_instances: None,
+        seed,
+        ..EngineConfig::default()
+    }
+}
+
 /// Which edge extractor a [`SceneRig`] runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EdgeExtractor {
@@ -509,6 +564,18 @@ mod tests {
         // …and past the 30 warm-up frames for raster ones.
         assert_eq!(frame.frame.raw(), 30);
         let _ = gmm.extractor.extract(&frame);
+    }
+
+    #[test]
+    fn city_scale_traces_have_unique_camera_ids() {
+        let traces = city_scale_traces(12, 4, 7);
+        assert_eq!(traces.len(), 12);
+        let ids: std::collections::HashSet<u32> = traces.iter().map(|t| t.camera.raw()).collect();
+        assert_eq!(ids.len(), 12, "camera ids must not collide across scenes");
+        // Scenes cycle: cameras 0 and 5 observe the same scene but keep
+        // distinct identities.
+        assert_eq!(traces[0].frames.len(), traces[5].frames.len());
+        assert_ne!(traces[0].camera, traces[5].camera);
     }
 
     #[test]

@@ -516,8 +516,9 @@ fn grid_from_value(value: &Json) -> Result<SweepGrid, String> {
         scenarios,
         admission,
         fairness,
-        // Execution-only flag, never serialized into BENCH json.
+        // Execution-only fields, never serialized into BENCH json.
         capture_traces: false,
+        shards: 1,
     })
 }
 

@@ -48,6 +48,18 @@ for path in crates/*/src/bin/*.rs; do
   fi
 done
 
+# Every experiment binary must have its own table row in
+# docs/EXPERIMENTS.md (a line starting "| `<bin>`"), so the bin↔metric
+# mapping there stays exhaustive — a passing mention elsewhere is not
+# enough.
+for path in crates/bench/src/bin/*.rs; do
+  bin=$(basename "$path" .rs)
+  if ! grep -qE "^\| \`$bin\`" docs/EXPERIMENTS.md; then
+    echo "ERROR: binary '$bin' has no table row in docs/EXPERIMENTS.md"
+    status=1
+  fi
+done
+
 if [ "$status" -eq 0 ]; then
   echo "check_docs: OK — all documented binaries exist and all binaries are documented"
 fi

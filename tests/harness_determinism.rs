@@ -191,6 +191,26 @@ fn fairness_grid_is_parallel_deterministic_and_holds_weighted_shares() {
 }
 
 #[test]
+fn sharded_scenario_grid_matches_the_single_shard_bytes() {
+    // The sharded runtime is a pure execution strategy: a scenario grid
+    // run at any shard count must serialize to the exact bytes of the
+    // single-shard oracle — same digests, same drop accounting, same
+    // grid echo. This is the workspace-level form of the guarantee
+    // `bench_throughput` asserts per run.
+    let mut grid = tangram_harness::presets::churn_grid(42, 24);
+    grid.scenarios[0].session_s = Some(3.0);
+    let oracle = run_grid(&grid, 2).to_json();
+    for shards in [2, 8] {
+        grid.shards = shards;
+        let sharded = run_grid(&grid, 2).to_json();
+        assert_eq!(sharded, oracle, "{shards} shards diverged from 1 shard");
+    }
+    // `shards` is execution-only: it must never leak into the artifact,
+    // so baselines stay valid no matter how the producer was sharded.
+    assert!(!oracle.contains("\"shards\""));
+}
+
+#[test]
 fn legacy_grid_emission_is_byte_stable_under_the_new_axes() {
     // PR 4 turned `scenario: Option<ScenarioSpec>` into the `scenarios`
     // axis (plus `admission`). Legacy shapes must keep their exact

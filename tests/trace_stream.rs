@@ -53,6 +53,34 @@ fn capture_is_byte_identical_across_worker_counts() {
     }
 }
 
+/// Sharding the producer must not move a single byte of the golden
+/// trace: the event stream — hash chain included — is identical at any
+/// shard count. The overload cell is a streaming scenario (sharding
+/// engages); the smoke cell is trace replay (closed-loop cameras stay
+/// inline), so both the sharded path and its fallback are covered.
+#[test]
+fn capture_is_byte_identical_across_shard_counts() {
+    for which in ["smoke", "overload"] {
+        let (oracle_report, oracle) = capture(which, 2);
+        for shards in [2, 8] {
+            let mut grid = golden_trace_grid(which, 42).expect("known golden cell");
+            grid.shards = shards;
+            let mut outcomes = run_grid_full(&grid, 2);
+            let outcome = outcomes.pop().expect("one cell");
+            let trace = outcome.trace.expect("golden grids opt into capture");
+            assert_eq!(
+                trace.to_jsonl(),
+                oracle.to_jsonl(),
+                "{which}: {shards} shards diverged from the 1-shard golden trace"
+            );
+            assert_eq!(
+                outcome.report.events_processed, oracle_report.events_processed,
+                "{which}: event count must not depend on shard count"
+            );
+        }
+    }
+}
+
 /// Recording a trace never perturbs the run: the report digest with the
 /// sink installed equals the digest of the same cell without it.
 #[test]
