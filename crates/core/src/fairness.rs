@@ -11,10 +11,14 @@
 //! * Each tenant class (keyed by its SLO, tightest first) owns a bounded
 //!   FIFO queue and a configured weight;
 //! * a periodic dequeue tick (a [`crate::online::StreamEvent::DrrTick`]
-//!   on the engine's event loop) runs one DRR round: every backlogged
-//!   class earns `weight × quantum` deficit and releases one queued item
-//!   per whole credit to the scheduler, so the *service* rate splits in
-//!   the weight ratio whenever more than one class is backlogged;
+//!   on the engine's event loop) runs one work-conserving DRR round:
+//!   the `Σ weights × quantum` round budget is split across the
+//!   *backlogged* classes in weight proportion (idle classes' credit is
+//!   redistributed, not forfeited) and each backlogged class releases
+//!   one queued item per whole credit to the scheduler, so the
+//!   *service* rate splits in the weight ratio whenever more than one
+//!   class is backlogged and never drops below the configured rate
+//!   while any class holds work;
 //! * overflow sheds at the ingress, and each class's overflow is charged
 //!   to that class's own accounting (its deficit keeps accruing only for
 //!   work it actually holds), so under a 2× overload the admitted
@@ -206,22 +210,41 @@ impl DrrIngress {
         Ok(())
     }
 
-    /// Runs one DRR service round, returning the released items (classes
-    /// ascending by SLO, FIFO within a class).
+    /// Runs one work-conserving DRR service round, returning the
+    /// released items (classes ascending by SLO, FIFO within a class).
     ///
-    /// Every backlogged class earns `weight × quantum` credit, then
-    /// releases one item per whole credit until its queue or credit runs
-    /// out. A class whose queue empties forfeits its residual credit
-    /// (standard DRR: deficit only accumulates against standing work),
-    /// so an idle class cannot bank a burst.
+    /// Each round distributes the full `Σ weights × quantum` service
+    /// budget across the *backlogged* classes in weight proportion: an
+    /// idle class's share is not forfeited (as in textbook DRR) but
+    /// redistributed, so the configured ingress service rate is
+    /// delivered whenever any class holds work — with one class idle in
+    /// a 3:1 mix, the active class's throughput matches a run where the
+    /// idle class never existed. Idle classes still cannot *bank*
+    /// credit: their deficit resets each round, so a returning class
+    /// gets its fair share going forward, never a burst from the past.
     pub fn service_round(&mut self) -> Vec<Arrival> {
         let mut released = Vec::new();
+        let total_weight: f64 = self.classes.iter().map(|c| c.weight).sum();
+        let backlogged_weight: f64 = self
+            .classes
+            .iter()
+            .filter(|c| !c.queue.is_empty())
+            .map(|c| c.weight)
+            .sum();
+        // Work-conservation boost: backlogged classes split the idle
+        // classes' credit in weight proportion (1.0 when every class is
+        // backlogged, so fully loaded rounds match textbook DRR).
+        let boost = if backlogged_weight > 0.0 {
+            total_weight / backlogged_weight
+        } else {
+            1.0
+        };
         for class in &mut self.classes {
             if class.queue.is_empty() {
                 class.deficit = 0.0;
                 continue;
             }
-            class.deficit += class.weight * self.quantum;
+            class.deficit += class.weight * boost * self.quantum;
             while class.deficit >= 1.0 {
                 let Some(arrival) = class.queue.pop_front() else {
                     class.deficit = 0.0;
@@ -325,18 +348,38 @@ mod tests {
     }
 
     #[test]
-    fn idle_classes_forfeit_their_credit() {
+    fn idle_credit_is_redistributed_not_banked() {
         let mut drr = ingress(&[(800, 3.0), (1500, 1.0)], 100, 1.0);
-        // Gold idles for many rounds; no credit may accumulate.
+        // Both classes idle for many rounds; no credit may accumulate.
         for _ in 0..50 {
             assert!(drr.service_round().is_empty());
         }
         for i in 0..10 {
             drr.enqueue(arrival(i, 800)).unwrap();
         }
-        // One round releases at most weight × quantum items, not a burst
-        // built from 50 idle rounds.
-        assert_eq!(drr.service_round().len(), 3);
+        // Work conservation: the sole backlogged class earns the full
+        // 4-credit round budget (its own 3 plus the idle class's 1) —
+        // but never a burst built from the 50 idle rounds.
+        assert_eq!(drr.service_round().len(), 4);
+    }
+
+    #[test]
+    fn work_conservation_matches_the_no_idle_class_oracle() {
+        // One active class alongside an idle one must drain exactly as
+        // fast as the same class configured alone.
+        let mut with_idle = ingress(&[(800, 3.0), (1500, 1.0)], 2000, 0.7);
+        let mut alone = ingress(&[(800, 4.0)], 2000, 0.7);
+        for i in 0..200 {
+            with_idle.enqueue(arrival(i, 800)).unwrap();
+            alone.enqueue(arrival(i, 800)).unwrap();
+        }
+        for round in 0..40 {
+            assert_eq!(
+                with_idle.service_round().len(),
+                alone.service_round().len(),
+                "round {round}: idle-class credit must be redistributed"
+            );
+        }
     }
 
     #[test]

@@ -28,6 +28,11 @@
 //!   between admission and the scheduler, served by dequeue ticks in the
 //!   configured weight ratio so the admitted mix under overload tracks
 //!   the weights instead of collapsing to the tightest class;
+//! * [`faults`] — declarative fault injection ([`faults::FaultSpec`]):
+//!   link outage windows, latency-tail inflation, cold-start storms,
+//!   camera flap/rejoin storms and backend brownouts, scheduled through
+//!   the engine's event loop from dedicated RNG forks so a faulted run
+//!   stays bit-for-bit reproducible at any shard count;
 //! * [`engine`] — the batch entry point ([`engine::EngineConfig::run`]):
 //!   cameras → edge partitioning → uplink → scheduler → serverless
 //!   platform, producing a [`report::RunReport`] with per-patch
@@ -61,6 +66,7 @@
 pub mod admission;
 pub mod engine;
 pub mod fairness;
+pub mod faults;
 pub mod online;
 pub mod policy;
 pub mod report;
@@ -75,6 +81,7 @@ pub use admission::{
 };
 pub use engine::{EngineConfig, PolicyKind};
 pub use fairness::{DrrConfig, DrrIngress};
+pub use faults::{FaultKind, FaultSpec};
 pub use online::{
     ArrivalProcess, CameraSource, GeneratedSource, OnlineEngine, StreamEvent, TenantClass,
     TraceReplaySource,

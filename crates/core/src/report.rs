@@ -75,6 +75,12 @@ pub struct RunReport {
     pub platform: PlatformStats,
     /// Frames injected.
     pub frames: u64,
+    /// Frames captured inside a camera-flap mute window and lost at the
+    /// edge (see [`crate::faults::FaultKind::CameraFlap`]): they count
+    /// in `frames` (the camera did capture) but never reached the
+    /// uplink. Always zero for fault-free runs; **not** part of
+    /// [`RunSummary`], so legacy BENCH baselines are unaffected.
+    pub frames_muted: u64,
     /// Work items shed by the streaming engine's admission-control
     /// policy (always zero for trace replay without one).
     pub dropped_arrivals: u64,
@@ -448,6 +454,7 @@ mod tests {
             link: LinkStats::default(),
             platform: PlatformStats::default(),
             frames: 1,
+            frames_muted: 0,
             dropped_arrivals: 0,
             dropped_by_slo: vec![],
             ingress_peak_depth: vec![],

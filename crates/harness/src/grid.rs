@@ -20,6 +20,7 @@
 use tangram_core::admission::{AdmissionPolicy, AlwaysAdmit, QueueDepthThreshold, SloShedder};
 use tangram_core::engine::{EngineConfig, PolicyKind};
 use tangram_core::fairness::{DrrConfig, DrrIngress};
+use tangram_core::faults::FaultSpec;
 use tangram_core::online::ArrivalProcess;
 use tangram_sim::rng::DetRng;
 use tangram_types::ids::SceneId;
@@ -189,6 +190,10 @@ pub struct ScenarioSpec {
     /// Tenant SLO classes, seconds, assigned to cameras round-robin — the
     /// tenant-mix axis. Empty = every camera uses the cell's SLO.
     pub tenant_slos_s: Vec<f64>,
+    /// Declarative fault windows injected into the run (see
+    /// [`tangram_core::faults`]). Empty = fault-free; the serialized
+    /// `BENCH_*.json` omits the key so legacy scenarios keep their bytes.
+    pub faults: Vec<FaultSpec>,
 }
 
 /// The declarative face of [`tangram_core::admission`]: which ingress

@@ -27,6 +27,12 @@
 //!   to copy-paste;
 //! * [`json`] — the deterministic JSON document model backing it all
 //!   (the vendored `serde` is a compile-only stub);
+//! * [`toml`] / [`scenario_file`] — the line-tracking TOML reader and
+//!   the declarative scenario library it loads
+//!   ([`scenario_file::ScenarioFile`]): `config/scenarios/*.toml` files
+//!   describing hard streaming runs — fleet, arrivals, tenants, ingress
+//!   stages and first-class fault windows — validated at load time with
+//!   errors naming the offending line;
 //! * [`cli`] / [`table`] — the experiment binaries' shared flags and
 //!   text-table rendering.
 //!
@@ -58,7 +64,9 @@ pub mod pool;
 pub mod presets;
 pub mod report;
 pub mod runner;
+pub mod scenario_file;
 pub mod table;
+pub mod toml;
 
 pub use cli::ExpOpts;
 pub use grid::{
@@ -71,4 +79,6 @@ pub use runner::{
     bench_report, run_grid, run_grid_full, run_scenario, run_scenario_sharded, run_scenario_traced,
     CellOutcome,
 };
+pub use scenario_file::{RunSpec, ScenarioFile};
 pub use table::TextTable;
+pub use toml::{TomlDocument, TomlError, TomlValue};

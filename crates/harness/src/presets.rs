@@ -160,6 +160,7 @@ pub fn churn_scenario(fps: f64, frames_per_camera: usize) -> ScenarioSpec {
         join_stagger_s: 0.0,
         session_s: None,
         tenant_slos_s: TENANT_MIX_SLOS_S.to_vec(),
+        faults: Vec::new(),
     }
 }
 
@@ -187,6 +188,7 @@ pub fn churn_grid(seed: u64, frames_per_camera: usize) -> SweepGrid {
         join_stagger_s: 2.0,
         session_s: Some(12.0),
         tenant_slos_s: TENANT_MIX_SLOS_S.to_vec(),
+        faults: Vec::new(),
     }];
     grid
 }
@@ -379,6 +381,7 @@ pub fn city_scale_scenario(frames_per_camera: usize) -> ScenarioSpec {
         join_stagger_s: 0.25,
         session_s: None,
         tenant_slos_s: TENANT_MIX_SLOS_S.to_vec(),
+        faults: Vec::new(),
     }
 }
 

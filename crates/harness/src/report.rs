@@ -19,6 +19,7 @@ use crate::grid::{
 };
 use crate::json::Json;
 use serde::{Deserialize, Serialize};
+use tangram_core::faults::{FaultKind, FaultSpec};
 use tangram_core::report::{RunSummary, TenantSummary};
 
 /// Version stamped into every `BENCH_*.json`; bump on any field change.
@@ -26,7 +27,10 @@ use tangram_core::report::{RunSummary, TenantSummary};
 /// per-cell metrics and the scenario/admission sweep axes to the grid.
 /// v3 added per-class fair-ingress queue accounting (`peak_queued` on
 /// every tenant row) and the weighted-DRR `fairness` sweep axis.
-pub const SCHEMA_VERSION: u64 = 3;
+/// v4 added declarative fault injection (`faults` on every scenario,
+/// emitted only when non-empty) and made weighted-DRR work-conserving,
+/// which moves fairness-axis metrics.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// One cell's outcome.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -365,8 +369,57 @@ fn arrival_from_value(value: &Json) -> Result<ArrivalSpec, String> {
     }
 }
 
+fn fault_to_value(spec: &FaultSpec) -> Json {
+    let mut fields = vec![("kind", Json::Str(spec.kind.name().to_string()))];
+    match spec.kind {
+        FaultKind::LinkOutage | FaultKind::ColdStartStorm => {}
+        FaultKind::LatencyTail { factor } | FaultKind::Brownout { factor } => {
+            fields.push(("factor", Json::F64(factor)));
+        }
+        FaultKind::CameraFlap {
+            mean_up_s,
+            mean_down_s,
+        } => {
+            fields.push(("mean_up_s", Json::F64(mean_up_s)));
+            fields.push(("mean_down_s", Json::F64(mean_down_s)));
+        }
+    }
+    fields.push(("at_s", Json::F64(spec.at_s)));
+    fields.push(("duration_s", Json::F64(spec.duration_s)));
+    Json::object(fields)
+}
+
+fn fault_from_value(value: &Json) -> Result<FaultSpec, String> {
+    let f = |key: &str| -> Result<f64, String> {
+        value
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing fault.{key}"))
+    };
+    let kind = match value.get("kind").and_then(Json::as_str) {
+        Some("link_outage") => FaultKind::LinkOutage,
+        Some("latency_tail") => FaultKind::LatencyTail {
+            factor: f("factor")?,
+        },
+        Some("cold_start_storm") => FaultKind::ColdStartStorm,
+        Some("camera_flap") => FaultKind::CameraFlap {
+            mean_up_s: f("mean_up_s")?,
+            mean_down_s: f("mean_down_s")?,
+        },
+        Some("brownout") => FaultKind::Brownout {
+            factor: f("factor")?,
+        },
+        other => return Err(format!("unknown fault.kind {other:?}")),
+    };
+    Ok(FaultSpec {
+        kind,
+        at_s: f("at_s")?,
+        duration_s: f("duration_s")?,
+    })
+}
+
 fn scenario_to_value(spec: &ScenarioSpec) -> Json {
-    Json::object(vec![
+    let mut fields = vec![
         ("arrival", arrival_to_value(&spec.arrival)),
         (
             "frames_per_camera",
@@ -378,7 +431,16 @@ fn scenario_to_value(spec: &ScenarioSpec) -> Json {
             "tenant_slos_s",
             Json::Array(spec.tenant_slos_s.iter().map(|&v| Json::F64(v)).collect()),
         ),
-    ])
+    ];
+    // Emitted only when configured, so fault-free scenarios keep their
+    // legacy bytes.
+    if !spec.faults.is_empty() {
+        fields.push((
+            "faults",
+            Json::Array(spec.faults.iter().map(fault_to_value).collect()),
+        ));
+    }
+    Json::object(fields)
 }
 
 fn scenario_from_value(value: &Json) -> Result<ScenarioSpec, String> {
@@ -402,12 +464,22 @@ fn scenario_from_value(value: &Json) -> Result<ScenarioSpec, String> {
         .iter()
         .map(|v| v.as_f64().ok_or("bad scenario.tenant_slos_s"))
         .collect::<Result<Vec<_>, _>>()?;
+    let faults = match value.get("faults") {
+        Some(Json::Null) | None => Vec::new(),
+        Some(v) => v
+            .as_array()
+            .ok_or("bad scenario.faults")?
+            .iter()
+            .map(fault_from_value)
+            .collect::<Result<Vec<_>, _>>()?,
+    };
     Ok(ScenarioSpec {
         arrival,
         frames_per_camera,
         join_stagger_s,
         session_s,
         tenant_slos_s,
+        faults,
     })
 }
 
@@ -1047,6 +1119,7 @@ mod tests {
                     None
                 },
                 tenant_slos_s: vec![0.8, 1.5],
+                faults: Vec::new(),
             }];
             let text = report.to_json();
             // One scenario keeps the legacy singular form.
@@ -1059,6 +1132,58 @@ mod tests {
     }
 
     #[test]
+    fn faulted_scenarios_round_trip_and_fault_free_ones_omit_the_key() {
+        let mut report = sample_report();
+        report.grid.scenarios = vec![ScenarioSpec {
+            arrival: ArrivalSpec::Poisson { fps: 6.0 },
+            frames_per_camera: 40,
+            join_stagger_s: 0.0,
+            session_s: None,
+            tenant_slos_s: vec![0.8, 1.5],
+            faults: vec![
+                FaultSpec {
+                    kind: FaultKind::LinkOutage,
+                    at_s: 2.0,
+                    duration_s: 1.5,
+                },
+                FaultSpec {
+                    kind: FaultKind::LatencyTail { factor: 3.0 },
+                    at_s: 1.0,
+                    duration_s: 4.0,
+                },
+                FaultSpec {
+                    kind: FaultKind::ColdStartStorm,
+                    at_s: 0.5,
+                    duration_s: 2.0,
+                },
+                FaultSpec {
+                    kind: FaultKind::CameraFlap {
+                        mean_up_s: 3.0,
+                        mean_down_s: 0.5,
+                    },
+                    at_s: 0.0,
+                    duration_s: 10.0,
+                },
+                FaultSpec {
+                    kind: FaultKind::Brownout { factor: 2.0 },
+                    at_s: 4.0,
+                    duration_s: 3.0,
+                },
+            ],
+        }];
+        let text = report.to_json();
+        assert!(text.contains("\"faults\""));
+        assert!(text.contains("\"link_outage\""));
+        let back = BenchReport::from_json(&text).unwrap();
+        assert_eq!(back.grid.scenarios, report.grid.scenarios);
+        assert_eq!(back.to_json(), text, "render(parse(x)) == x");
+
+        // Fault-free scenarios keep their legacy bytes.
+        report.grid.scenarios[0].faults.clear();
+        assert!(!report.to_json().contains("\"faults\""));
+    }
+
+    #[test]
     fn multi_scenario_and_admission_grids_round_trip() {
         let scenario = |fps: f64| ScenarioSpec {
             arrival: ArrivalSpec::Poisson { fps },
@@ -1066,6 +1191,7 @@ mod tests {
             join_stagger_s: 0.0,
             session_s: None,
             tenant_slos_s: vec![0.8, 1.5],
+            faults: Vec::new(),
         };
         let mut report = sample_report();
         report.grid.scenarios = vec![scenario(4.0), scenario(16.0)];
@@ -1098,7 +1224,7 @@ mod tests {
     fn schema_version_is_enforced() {
         let text = sample_report()
             .to_json()
-            .replace("\"schema_version\": 3", "\"schema_version\": 999");
+            .replace("\"schema_version\": 4", "\"schema_version\": 999");
         let err = BenchReport::from_json(&text).unwrap_err();
         assert!(err.contains("schema_version"), "{err}");
     }

@@ -181,6 +181,7 @@ pub fn run_scenario_sharded(
 ) -> (RunReport, Option<TraceLog>) {
     let mut engine = OnlineEngine::new(config);
     engine.set_shards(shards);
+    engine.set_faults(scenario.faults.clone());
     if let Some(spec) = admission {
         engine.set_admission_policy(spec.build(&scenario.tenant_slos_s));
     }
@@ -323,6 +324,7 @@ mod tests {
             join_stagger_s: 0.5,
             session_s: None,
             tenant_slos_s: vec![0.8, 1.5],
+            faults: Vec::new(),
         }];
         let report = run_grid(&grid, 2);
         for cell in &report.cells {

@@ -145,6 +145,11 @@ pub struct ServerlessPlatform {
     next_instance: InstanceId,
     next_invocation: InvocationId,
     stats: PlatformStats,
+    /// Execution-time multiplier for backend brownout injection: every
+    /// sampled execution is scaled by this factor. Exactly 1.0 (the
+    /// default) is a guaranteed no-op — the sampled duration is passed
+    /// through untouched, keeping fault-free runs byte-identical.
+    compute_factor: f64,
     rng: DetRng,
     /// Invocations submitted but not yet acknowledged by the driver:
     /// `(id, finishes_at)` in submission order.
@@ -168,6 +173,7 @@ impl ServerlessPlatform {
             next_instance: InstanceId::default(),
             next_invocation: InvocationId::default(),
             stats: PlatformStats::default(),
+            compute_factor: 1.0,
             rng: DetRng::new(seed).fork("serverless"),
             in_flight: Vec::new(),
         }
@@ -197,6 +203,30 @@ impl ServerlessPlatform {
     #[must_use]
     pub fn stats(&self) -> PlatformStats {
         self.stats
+    }
+
+    /// Sets the brownout execution-time multiplier (see the
+    /// `compute_factor` field). 1.0 restores exact no-fault timing: the
+    /// latency model's draw sequence is never perturbed, only the
+    /// already-sampled duration is scaled.
+    pub fn set_compute_factor(&mut self, factor: f64) {
+        self.compute_factor = factor;
+    }
+
+    /// The brownout execution-time multiplier in force.
+    #[must_use]
+    pub fn compute_factor(&self) -> f64 {
+        self.compute_factor
+    }
+
+    /// Evicts idle warm instances (cold-start-storm injection): every
+    /// instance not executing at `now` is reclaimed immediately, so the
+    /// next submission pays a fresh cold start. Returns the number
+    /// evicted. Busy instances finish their work — only warmth is lost.
+    pub fn evict_idle(&mut self, now: SimTime) -> usize {
+        let before = self.instances.len();
+        self.instances.retain(|i| i.busy_until > now);
+        before - self.instances.len()
     }
 
     /// Number of instances currently provisioned (warm or busy).
@@ -309,6 +339,14 @@ impl ServerlessPlatform {
         };
 
         let execution = self.model.sample(request.megapixels, &mut self.rng);
+        // Brownout injection: scale the sampled duration without
+        // touching the draw sequence. The exact-1.0 guard keeps
+        // fault-free runs bit-identical (no float round-trip).
+        let execution = if self.compute_factor == 1.0 {
+            execution
+        } else {
+            execution.mul_f64(self.compute_factor)
+        };
         let finished = started + execution;
         let cost = self.prices.invocation_cost(execution, &self.spec);
 
@@ -629,6 +667,39 @@ mod tests {
         let a = via_invoke.invoke(req(3, 0)).unwrap();
         let b = via_submit.submit(req(3, 0)).unwrap();
         assert_eq!(a, b, "the event-driven path must not perturb sampling");
+    }
+
+    #[test]
+    fn compute_factor_scales_execution_without_perturbing_draws() {
+        let mut plain = platform();
+        let mut browned = platform();
+        browned.set_compute_factor(3.0);
+        let a = plain.invoke(req(2, 0)).unwrap();
+        let b = browned.invoke(req(2, 0)).unwrap();
+        assert!(
+            (b.execution.as_secs_f64() - 3.0 * a.execution.as_secs_f64()).abs() < 2e-6,
+            "brownout must scale the same sampled draw"
+        );
+        // Restoring 1.0 restores the exact no-fault sequence.
+        browned.set_compute_factor(1.0);
+        let a2 = plain.invoke(req(2, 10_000_000)).unwrap();
+        let b2 = browned.invoke(req(2, 10_000_000)).unwrap();
+        assert_eq!(a2.execution, b2.execution);
+    }
+
+    #[test]
+    fn evict_idle_forces_cold_starts_but_spares_busy_instances() {
+        let mut p = platform();
+        let first = p.invoke(req(1, 0)).unwrap();
+        // Warm and idle after completion: eviction reclaims it.
+        let idle_at = first.finished + SimDuration::from_millis(1);
+        assert_eq!(p.evict_idle(idle_at), 1);
+        let second = p.invoke(req(1, idle_at.as_micros())).unwrap();
+        assert!(second.cold, "the warm pool was evicted");
+        // A busy instance survives eviction mid-execution.
+        let third = p.submit(req(1, second.finished.as_micros() + 1)).unwrap();
+        assert_eq!(p.evict_idle(third.started + SimDuration::from_micros(1)), 0);
+        assert!(p.complete(third.id));
     }
 
     #[test]

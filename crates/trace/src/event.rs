@@ -74,6 +74,16 @@ pub enum TraceEvent {
         /// SLO violations among the batch's patches.
         violations: u64,
     },
+    /// A declarative fault window opened (fault injection is active
+    /// until `until_us`). Fault-free runs never emit this kind, so
+    /// legacy golden traces are unaffected.
+    FaultWindow {
+        /// The fault kind's stable name (`link_outage`, `latency_tail`,
+        /// `cold_start_storm`, `camera_flap`, `brownout`).
+        kind: String,
+        /// When the window closes, microseconds since simulation start.
+        until_us: u64,
+    },
     /// The run drained: totals a consumer can check the stream against.
     SessionEnd {
         /// Frames injected by all cameras.
@@ -102,12 +112,13 @@ impl TraceEvent {
             TraceEvent::DrrRound { .. } => "drr.round",
             TraceEvent::BatchDispatch { .. } => "batch.dispatch",
             TraceEvent::FunctionComplete { .. } => "function.complete",
+            TraceEvent::FaultWindow { .. } => "fault.window",
             TraceEvent::SessionEnd { .. } => "session.end",
         }
     }
 
     /// Every kind tag, in a fixed order (stats tables).
-    pub const KINDS: [&'static str; 8] = [
+    pub const KINDS: [&'static str; 9] = [
         "session.start",
         "camera.join",
         "camera.leave",
@@ -115,6 +126,7 @@ impl TraceEvent {
         "drr.round",
         "batch.dispatch",
         "function.complete",
+        "fault.window",
         "session.end",
     ];
 
@@ -174,6 +186,11 @@ impl TraceEvent {
                     ",\"invocation\":{invocation},\"inputs\":{inputs},\"violations\":{violations}"
                 );
             }
+            TraceEvent::FaultWindow { kind, until_us } => {
+                out.push_str(",\"fault\":");
+                render_string(kind, out);
+                let _ = write!(out, ",\"until_us\":{until_us}");
+            }
             TraceEvent::SessionEnd {
                 frames,
                 batches,
@@ -226,6 +243,10 @@ impl TraceEvent {
                 invocation: fields.integer("invocation")?,
                 inputs: fields.integer("inputs")?,
                 violations: fields.integer("violations")?,
+            },
+            "fault.window" => TraceEvent::FaultWindow {
+                kind: fields.string("fault")?,
+                until_us: fields.integer("until_us")?,
             },
             "session.end" => TraceEvent::SessionEnd {
                 frames: fields.integer("frames")?,
@@ -334,6 +355,10 @@ mod tests {
                 invocation: 3,
                 inputs: 2,
                 violations: 0,
+            },
+            TraceEvent::FaultWindow {
+                kind: "brownout".into(),
+                until_us: 5_000_000,
             },
             TraceEvent::SessionEnd {
                 frames: 10,

@@ -60,6 +60,17 @@ for path in crates/bench/src/bin/*.rs; do
   fi
 done
 
+# Every shipped scenario file must have its row in docs/EXPERIMENTS.md's
+# scenario-library table (a line starting "| `<file>.toml`"), so the
+# library stays documented as scenarios are added.
+for path in config/scenarios/*.toml; do
+  file=$(basename "$path")
+  if ! grep -qE "^\| \`$file\`" docs/EXPERIMENTS.md; then
+    echo "ERROR: scenario '$path' has no table row in docs/EXPERIMENTS.md"
+    status=1
+  fi
+done
+
 if [ "$status" -eq 0 ]; then
   echo "check_docs: OK — all documented binaries exist and all binaries are documented"
 fi

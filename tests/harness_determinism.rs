@@ -172,13 +172,16 @@ fn fairness_grid_is_parallel_deterministic_and_holds_weighted_shares() {
             cell.index
         );
         // Past the ingress knee both classes shed, yet the admitted mix
-        // stays in the configured 3:1 ratio (±10% of the weights).
+        // stays near the configured 3:1 ratio. The band is wider than the
+        // weights alone would suggest because the DRR is work-conserving:
+        // a transiently dry class donates its credit to the backlogged
+        // one instead of idling the round.
         if cell.metrics.dropped_arrivals > 0 {
             let admitted: u64 = cell.metrics.tenants.iter().map(|t| t.admitted).sum();
             let gold = &cell.metrics.tenants[0];
             let share = gold.admitted as f64 / admitted as f64;
             assert!(
-                (share - 0.75).abs() < 0.075,
+                (share - 0.75).abs() < 0.11,
                 "cell {}: gold admitted share {share:.3}",
                 cell.index
             );
@@ -208,6 +211,43 @@ fn sharded_scenario_grid_matches_the_single_shard_bytes() {
     // `shards` is execution-only: it must never leak into the artifact,
     // so baselines stay valid no matter how the producer was sharded.
     assert!(!oracle.contains("\"shards\""));
+}
+
+#[test]
+fn faulted_scenario_grid_matches_the_single_shard_bytes() {
+    // Fault injection must not weaken the sharding guarantee: a scenario
+    // carrying declarative fault windows (a brownout across most of the
+    // run, a link outage inside it) serializes to the exact bytes of the
+    // single-shard oracle at any shard count — the faulted form of
+    // `sharded_scenario_grid_matches_the_single_shard_bytes`, and the
+    // workspace-level mirror of what `bench_scenarios` asserts per run.
+    use tangram_core::{FaultKind, FaultSpec};
+    let mut grid = tangram_harness::presets::churn_grid(42, 24);
+    grid.scenarios[0].session_s = Some(3.0);
+    grid.scenarios[0].faults = vec![
+        FaultSpec {
+            kind: FaultKind::Brownout { factor: 2.0 },
+            at_s: 0.5,
+            duration_s: 3.0,
+        },
+        FaultSpec {
+            kind: FaultKind::LinkOutage,
+            at_s: 1.0,
+            duration_s: 0.5,
+        },
+    ];
+    let oracle = run_grid(&grid, 2).to_json();
+    for shards in [2, 8] {
+        grid.shards = shards;
+        let sharded = run_grid(&grid, 2).to_json();
+        assert_eq!(sharded, oracle, "{shards} shards diverged under faults");
+    }
+    // The fault schedule is part of the artifact (schema v4): it must
+    // round-trip with the grid echo.
+    let parsed = BenchReport::from_json(&oracle).expect("valid BENCH json");
+    assert_eq!(parsed.grid.scenarios, grid.scenarios);
+    assert!(oracle.contains("\"faults\""));
+    assert!(oracle.contains("\"brownout\""));
 }
 
 #[test]

@@ -1,0 +1,150 @@
+//! Contracts of the declarative scenario format: every file in the
+//! shipped `config/scenarios/` library loads, validates and round-trips
+//! through its canonical TOML form, and the invalid fixtures under
+//! `tests/fixtures/invalid_scenarios/` are rejected with an error that
+//! names the offending line.
+
+use std::path::{Path, PathBuf};
+use tangram_harness::ScenarioFile;
+
+fn repo_path(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+fn library() -> Vec<(PathBuf, ScenarioFile)> {
+    ScenarioFile::load_dir(&repo_path("config/scenarios")).expect("library loads")
+}
+
+/// The shipped library is non-trivial and every file names itself
+/// uniquely — `BENCH_scenarios.json` rows key on the name.
+#[test]
+fn the_shipped_library_loads_and_names_are_unique() {
+    let library = library();
+    assert!(
+        library.len() >= 6,
+        "the hard-scenario library must not shrink ({} files)",
+        library.len()
+    );
+    let mut names: Vec<&str> = library.iter().map(|(_, f)| f.name.as_str()).collect();
+    names.sort_unstable();
+    let before = names.len();
+    names.dedup();
+    assert_eq!(before, names.len(), "duplicate scenario names");
+}
+
+/// Every library file round-trips through the canonical writer: parsing
+/// `to_toml()` reproduces the scenario exactly, and the canonical form
+/// is a fixed point.
+#[test]
+fn every_library_file_round_trips_through_canonical_toml() {
+    for (path, file) in library() {
+        let canonical = file.to_toml();
+        let back = ScenarioFile::parse_str(&canonical)
+            .unwrap_or_else(|e| panic!("{}: canonical form fails to parse: {e}", path.display()));
+        assert_eq!(
+            back,
+            file,
+            "{}: round-trip changed the scenario",
+            path.display()
+        );
+        assert_eq!(
+            back.to_toml(),
+            canonical,
+            "{}: canonical form is not a fixed point",
+            path.display()
+        );
+    }
+}
+
+/// The library exercises the whole fault axis: collectively the shipped
+/// scenarios must cover every fault kind at least once.
+#[test]
+fn the_library_covers_every_fault_kind() {
+    let mut kinds: Vec<&'static str> = library()
+        .iter()
+        .flat_map(|(_, f)| f.scenario.faults.iter().map(|fault| fault.kind.name()))
+        .collect();
+    kinds.sort_unstable();
+    kinds.dedup();
+    for expected in [
+        "brownout",
+        "camera_flap",
+        "cold_start_storm",
+        "latency_tail",
+        "link_outage",
+    ] {
+        assert!(
+            kinds.contains(&expected),
+            "no shipped scenario injects `{expected}`"
+        );
+    }
+}
+
+/// Loads an invalid fixture, asserting rejection; returns the error.
+fn rejected(fixture: &str) -> String {
+    let path = repo_path("tests/fixtures/invalid_scenarios").join(fixture);
+    ScenarioFile::load(&path).expect_err("fixture must be rejected")
+}
+
+/// Finds the 1-based line number of the first line satisfying `pred`.
+fn line_of(fixture: &str, pred: impl Fn(&str) -> bool) -> usize {
+    let path = repo_path("tests/fixtures/invalid_scenarios").join(fixture);
+    let text = std::fs::read_to_string(path).expect("fixture readable");
+    text.lines().position(pred).expect("line present") + 1
+}
+
+/// An unknown key is rejected, and the error names the exact line the
+/// key sits on (errors read `path:line: message`).
+#[test]
+fn unknown_keys_are_rejected_with_their_line() {
+    let err = rejected("unknown_key.toml");
+    assert!(
+        err.contains("unknown key `jitter_fps` in [arrival]"),
+        "{err}"
+    );
+    let line = line_of("unknown_key.toml", |l| l.starts_with("jitter_fps"));
+    assert!(
+        err.contains(&format!("unknown_key.toml:{line}:")),
+        "error must name line {line}: {err}"
+    );
+}
+
+/// An out-of-range arrival rate is rejected with the rate's own line.
+#[test]
+fn out_of_range_rates_are_rejected_with_their_line() {
+    let err = rejected("bad_rate.toml");
+    assert!(err.contains("out of range"), "{err}");
+    let line = line_of("bad_rate.toml", |l| l.starts_with("fps = 900.0"));
+    assert!(
+        err.contains(&format!("bad_rate.toml:{line}:")),
+        "error must name line {line}: {err}"
+    );
+}
+
+/// Overlapping same-kind fault windows are rejected; the error names
+/// the second window's header line and points back at the first.
+#[test]
+fn overlapping_fault_windows_are_rejected_with_both_lines() {
+    let err = rejected("overlapping_faults.toml");
+    assert!(err.contains("overlaps"), "{err}");
+    assert!(err.contains("link_outage"), "{err}");
+    let path = repo_path("tests/fixtures/invalid_scenarios/overlapping_faults.toml");
+    let text = std::fs::read_to_string(path).expect("fixture readable");
+    let headers: Vec<usize> = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| *l == "[[fault]]")
+        .map(|(i, _)| i + 1)
+        .collect();
+    assert_eq!(headers.len(), 2, "fixture declares two windows");
+    assert!(
+        err.contains(&format!("overlapping_faults.toml:{}:", headers[1])),
+        "error anchors on the second window (line {}): {err}",
+        headers[1]
+    );
+    assert!(
+        err.contains(&format!("line {}", headers[0])),
+        "error points back at the first window (line {}): {err}",
+        headers[0]
+    );
+}

@@ -81,6 +81,47 @@ fn capture_is_byte_identical_across_shard_counts() {
     }
 }
 
+/// A faulted run's golden trace holds the same guarantee: with a
+/// brownout window injected into the overload cell, the captured JSONL
+/// — `fault.window` record and hash chain included — is byte-identical
+/// at any shard count, and the chain still verifies.
+#[test]
+fn faulted_capture_is_byte_identical_across_shard_counts() {
+    use tangram_core::{FaultKind, FaultSpec};
+    let faulted_grid = || {
+        let mut grid = golden_trace_grid("overload", 42).expect("known golden cell");
+        grid.scenarios[0].faults = vec![FaultSpec {
+            kind: FaultKind::Brownout { factor: 2.0 },
+            at_s: 0.5,
+            duration_s: 2.0,
+        }];
+        grid
+    };
+    let capture_at = |shards: usize| -> TraceLog {
+        let mut grid = faulted_grid();
+        grid.shards = shards;
+        let mut outcomes = run_grid_full(&grid, 2);
+        let outcome = outcomes.pop().expect("one cell");
+        outcome.trace.expect("golden grids opt into capture")
+    };
+    let oracle = capture_at(1);
+    oracle.verify().expect("faulted chain must verify");
+    assert!(
+        oracle.records.iter().any(|r| matches!(
+            &r.event,
+            TraceEvent::FaultWindow { kind, .. } if kind == "brownout"
+        )),
+        "the golden trace must record the brownout window"
+    );
+    for shards in [2, 8] {
+        assert_eq!(
+            capture_at(shards).to_jsonl(),
+            oracle.to_jsonl(),
+            "{shards} shards diverged from the 1-shard faulted golden trace"
+        );
+    }
+}
+
 /// Recording a trace never perturbs the run: the report digest with the
 /// sink installed equals the digest of the same cell without it.
 #[test]
