@@ -4,7 +4,7 @@ use crate::grid::{AdmissionSpec, FairnessSpec, ScenarioSpec, SweepCell, SweepGri
 use crate::pool::parallel_map;
 use crate::presets::build_workload;
 use crate::report::{BenchReport, CellReport};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use tangram_core::engine::EngineConfig;
 use tangram_core::online::{GeneratedSource, OnlineEngine, TenantClass, TraceReplaySource};
@@ -55,7 +55,7 @@ pub fn run_grid_full(grid: &SweepGrid, workers: usize) -> Vec<CellOutcome> {
         parallel_map(trace_keys.clone(), workers, |_, (workload_index, seed)| {
             Arc::new(build_workload(&grid.workloads[workload_index], seed))
         });
-    let traces: HashMap<(usize, u64), Arc<Vec<CameraTrace>>> =
+    let traces: BTreeMap<(usize, u64), Arc<Vec<CameraTrace>>> =
         trace_keys.into_iter().zip(built).collect();
 
     let scenarios = grid.scenarios.clone();

@@ -71,6 +71,25 @@ for path in config/scenarios/*.toml; do
   fi
 done
 
+# The lint rule table in docs/ARCHITECTURE.md (between the
+# lint-rule-table markers) must list exactly the rule ids the linter
+# registers in crates/lint/src/lib.rs — both directions.
+lint_src=crates/lint/src/lib.rs
+table=$(sed -n '/<!-- lint-rule-table:begin -->/,/<!-- lint-rule-table:end -->/p' \
+        docs/ARCHITECTURE.md)
+for id in $(grep -oE 'id: "[a-z-]+"' "$lint_src" | cut -d'"' -f2 | sort -u); do
+  if ! printf '%s\n' "$table" | grep -qE "^\| \`$id\`"; then
+    echo "ERROR: lint rule '$id' has no row in docs/ARCHITECTURE.md's rule table"
+    status=1
+  fi
+done
+for id in $(printf '%s\n' "$table" | grep -oE '^\| `[a-z-]+`' | tr -d '|` ' | sort -u); do
+  if ! grep -qE "id: \"$id\"" "$lint_src"; then
+    echo "ERROR: docs/ARCHITECTURE.md documents unknown lint rule '$id'"
+    status=1
+  fi
+done
+
 if [ "$status" -eq 0 ]; then
   echo "check_docs: OK — all documented binaries exist and all binaries are documented"
 fi

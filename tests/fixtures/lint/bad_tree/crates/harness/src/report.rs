@@ -1,0 +1,4 @@
+//! Fixture: the harness schema constant, bumped without regenerating.
+
+/// Report schema version.
+pub const SCHEMA_VERSION: u64 = 9;

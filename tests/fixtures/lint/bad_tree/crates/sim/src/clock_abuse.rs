@@ -1,0 +1,12 @@
+//! Fixture: determinism violations at pinned lines.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Reads the wall clock, builds an unordered map, draws ambient entropy.
+pub fn naughty() -> usize {
+    let start = Instant::now();
+    let map: HashMap<u32, u32> = HashMap::new();
+    let _ = thread_rng();
+    map.len() + start.elapsed().as_secs() as usize
+}

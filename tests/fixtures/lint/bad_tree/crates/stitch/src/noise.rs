@@ -1,0 +1,8 @@
+//! Fixture: a hash-order hit that the allowlist waives.
+
+use std::collections::HashMap;
+
+/// Counts via an unordered map (waived in config/lint_allow.toml).
+pub fn count() -> usize {
+    HashMap::<u8, u8>::new().len()
+}

@@ -1,0 +1,33 @@
+//! Fixture: a trace-kind registry that has drifted out of sync.
+
+/// Stand-in event enum.
+pub enum TraceEvent {
+    /// First kind.
+    Alpha,
+    /// Second kind.
+    Beta,
+}
+
+impl TraceEvent {
+    /// Registered kinds.
+    pub const KINDS: [&'static str; 2] = [
+        "alpha.start",
+        "gamma.end",
+    ];
+
+    /// Kind tag.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::Alpha => "alpha.start",
+            TraceEvent::Beta => "beta.tick",
+        }
+    }
+
+    /// Parses a tag back.
+    pub fn from_fields(kind: &str) -> Option<TraceEvent> {
+        match kind {
+            "alpha.start" => Some(TraceEvent::Alpha),
+            _ => None,
+        }
+    }
+}

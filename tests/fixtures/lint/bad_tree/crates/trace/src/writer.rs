@@ -1,0 +1,10 @@
+//! Fixture: a trace writer that debug-formats a float.
+
+use std::fmt::Write as _;
+
+/// Renders a float into the record the bad way.
+pub fn render(value: f64) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{value:?}");
+    out
+}
