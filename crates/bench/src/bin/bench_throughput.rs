@@ -85,7 +85,7 @@ fn main() -> ExitCode {
     for &shards in shard_counts {
         let start = Instant::now();
         let (report, _) =
-            run_scenario_sharded(&config, &traces, &scenario, None, None, false, shards);
+            run_scenario_sharded(&config, &traces, &scenario, None, None, false, shards, None);
         let wall_s = start.elapsed().as_secs_f64();
         rows.push(Row {
             shards,

@@ -454,6 +454,12 @@ pub struct OnlineEngine {
     /// Events popped off the coordinator loop (wall-clock perf
     /// denominator for `bench_throughput`; pure accounting).
     events_processed: u64,
+    /// Per-shard credit window (how far a shard may run ahead of the
+    /// coordinator). Defaults to the production
+    /// [`tangram_types::credit::CREDIT_WINDOW`]; the `CREDIT_WINDOW=1`
+    /// regression suite narrows it to the minimum via
+    /// [`OnlineEngine::set_credit_window`].
+    credit_window: usize,
     /// Requested shard count (1 = fully inline, the byte-compare
     /// oracle).
     shards: usize,
@@ -508,6 +514,7 @@ impl OnlineEngine {
             dropped_by_slo: Vec::new(),
             completions: 0,
             events_processed: 0,
+            credit_window: tangram_types::credit::CREDIT_WINDOW,
             shards: 1,
             shard_set: None,
             pending_faults: Vec::new(),
@@ -547,6 +554,19 @@ impl OnlineEngine {
         self.shards = shards.max(1);
     }
 
+    /// Narrows the per-shard credit window (clamped to ≥ 1; the
+    /// production default is
+    /// [`tangram_types::credit::CREDIT_WINDOW`]).
+    ///
+    /// Like the shard count, the window is a pure execution knob: the
+    /// protocol's merge order is credit-oblivious — proven across
+    /// interleavings by the `tangram-model` explorer and pinned end to
+    /// end by the `CREDIT_WINDOW=1` regression — so any window yields
+    /// byte-identical output, only with different shard run-ahead.
+    pub fn set_credit_window(&mut self, window: usize) {
+        self.credit_window = window.max(1);
+    }
+
     /// Moves eligible camera sources onto shard threads. A no-op for
     /// one-shard runs, runs with fewer than two eligible cameras, and
     /// closed-loop sources.
@@ -579,7 +599,12 @@ impl OnlineEngine {
             slot.sharded = true;
             partitions[k % shards].push((cam, slot.join_at, source));
         }
-        self.shard_set = Some(ShardSet::spawn(partitions, spec, self.cameras.len()));
+        self.shard_set = Some(ShardSet::spawn(
+            partitions,
+            spec,
+            self.cameras.len(),
+            self.credit_window,
+        ));
     }
 
     /// Schedules camera `cam` to leave the stream at `at`; frames it
@@ -1518,6 +1543,38 @@ mod tests {
             );
             assert_eq!(sharded.frames, oracle.frames);
             assert_eq!(sharded.events_processed, oracle.events_processed);
+        }
+    }
+
+    #[test]
+    fn minimum_credit_window_matches_the_inline_oracle() {
+        // CREDIT_WINDOW=1 is the tightest flow control the protocol
+        // supports: every shard hand-off round-trips one credit. The
+        // digests must still be byte-identical to the 1-shard oracle —
+        // the window is pure run-ahead, never ordering.
+        let build = || {
+            let mut engine = OnlineEngine::new(&config(PolicyKind::Tangram));
+            for i in 0..5u8 {
+                engine.add_camera_at(
+                    SimTime::from_micros(u64::from(i) * 900),
+                    Box::new(poisson_source(1 + i, 24, 11.0, 70 + u64::from(i))),
+                );
+            }
+            engine
+        };
+        let oracle = build().run();
+        for shards in [2, 3] {
+            let mut engine = build();
+            engine.set_shards(shards);
+            engine.set_credit_window(1);
+            let tight = engine.run();
+            assert_eq!(
+                tight.summarize(),
+                oracle.summarize(),
+                "CREDIT_WINDOW=1 at {shards} shards diverged from the oracle"
+            );
+            assert_eq!(tight.frames, oracle.frames);
+            assert_eq!(tight.events_processed, oracle.events_processed);
         }
     }
 

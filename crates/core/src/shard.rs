@@ -48,16 +48,19 @@ use crate::workload::TraceFrame;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::VecDeque;
 use tangram_sim::driver::EventLoop;
+// How many captures a shard may run ahead of the coordinator. Large
+// enough to hide hand-off latency, small enough to bound speculative
+// work for cameras the coordinator has already deactivated. Shared with
+// the `tangram-model` schedule explorer, which proves the protocol's
+// safety properties for the small-window family; `ShardSet::spawn`
+// takes the window as a parameter so the CREDIT_WINDOW=1 regression can
+// run the tightest configuration end to end.
+use tangram_types::credit::CREDIT_WINDOW;
 use tangram_types::geometry::{Rect, Size};
 use tangram_types::ids::{CameraId, PatchId};
 use tangram_types::patch::{Patch, PatchInfo};
 use tangram_types::time::{SimDuration, SimTime};
 use tangram_types::units::Bytes;
-
-/// How many captures a shard may run ahead of the coordinator. Large
-/// enough to hide hand-off latency, small enough to bound speculative
-/// work for cameras the coordinator has already deactivated.
-const CREDIT_WINDOW: usize = 1024;
 
 /// Which wire representation [`materialize_frame`] builds — derived
 /// once from the engine's [`crate::engine::PolicyKind`].
@@ -257,12 +260,15 @@ pub(crate) struct ShardSet {
 impl ShardSet {
     /// Spawns one thread per camera partition and primes the credit
     /// windows. `camera_count` is the engine's full camera-table size
-    /// (for the demux buffers).
+    /// (for the demux buffers); `window` is the per-shard credit grant
+    /// (clamped to ≥ 1, [`CREDIT_WINDOW`] in production).
     pub(crate) fn spawn(
         partitions: Vec<Vec<ShardCamera>>,
         spec: MaterializeSpec,
         camera_count: usize,
+        window: usize,
     ) -> Self {
+        let window = window.clamp(1, CREDIT_WINDOW);
         let mut shard_of = vec![None; camera_count];
         let mut rxs = Vec::with_capacity(partitions.len());
         let mut credit_txs = Vec::with_capacity(partitions.len());
@@ -273,7 +279,7 @@ impl ShardSet {
             }
             let (tx, rx) = unbounded::<ShardMsg>();
             let (credit_tx, credit_rx) = unbounded::<()>();
-            for _ in 0..CREDIT_WINDOW {
+            for _ in 0..window {
                 let _ = credit_tx.send(());
             }
             handles.push(std::thread::spawn(move || {

@@ -368,6 +368,14 @@ pub struct SweepGrid {
     /// so the field is *not* serialized and `from_json` reconstructs it
     /// as 1.
     pub shards: usize,
+    /// Per-shard credit window override for streaming-scenario cells
+    /// (see [`tangram_core::online::OnlineEngine::set_credit_window`]).
+    /// Execution-only like `shards`: the window bounds shard run-ahead,
+    /// never ordering, so `None` (the production window) and any
+    /// explicit value produce byte-identical reports — pinned by the
+    /// `CREDIT_WINDOW=1` case in `tests/harness_determinism.rs`. Not
+    /// serialized; `from_json` reconstructs it as `None`.
+    pub credit_window: Option<usize>,
 }
 
 impl SweepGrid {
@@ -391,6 +399,7 @@ impl SweepGrid {
             fairness: Vec::new(),
             capture_traces: false,
             shards: 1,
+            credit_window: None,
         }
     }
 

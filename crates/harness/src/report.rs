@@ -591,6 +591,7 @@ fn grid_from_value(value: &Json) -> Result<SweepGrid, String> {
         // Execution-only fields, never serialized into BENCH json.
         capture_traces: false,
         shards: 1,
+        credit_window: None,
     })
 }
 

@@ -359,6 +359,7 @@ impl ScenarioFile {
             self.fairness.as_ref(),
             capture,
             shards,
+            None,
         )
     }
 }

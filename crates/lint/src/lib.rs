@@ -10,11 +10,16 @@
 //! time, the way the scenario loader validates scenario files before
 //! execution.
 //!
-//! Four rule families, eleven rules, each reporting
+//! Five rule families, fourteen rules, each reporting
 //! `path:line: rule-id: message` with a nonzero exit:
 //!
 //! * **Determinism** ([`rules`]) — `det-wall-clock`, `det-entropy`,
 //!   `det-hash-order`, `det-float-format`.
+//! * **Concurrency discipline** ([`conc`]) — `conc-raw-thread`,
+//!   `conc-unbounded-channel`, `conc-lock-across-send`: the static leg
+//!   of the concurrency argument whose dynamic leg is the bounded
+//!   model checker (`crates/model`) — code stays inside the envelope
+//!   the model proves.
 //! * **Crate DAG** ([`dag`]) — `dag-edge`, `dag-cycle`, `dag-unlisted`,
 //!   verified against the declared lattice ([`dag::LATTICE`], the DAG's
 //!   source of truth).
@@ -40,6 +45,7 @@
 //! assert_eq!(v.to_string(), "crates/sim/src/rng.rs:3: det-entropy: example");
 //! ```
 
+pub mod conc;
 pub mod dag;
 pub mod rules;
 pub mod scan;
@@ -101,7 +107,7 @@ pub struct Rule {
 /// Every rule the linter can report, in stable order. The docs
 /// cross-check in `scripts/check_docs.sh` holds `docs/ARCHITECTURE.md`'s
 /// rule table to exactly this registry.
-pub const RULES: [Rule; 11] = [
+pub const RULES: [Rule; 14] = [
     Rule {
         id: "det-wall-clock",
         summary: "no Instant/SystemTime outside waived wall-clock shims",
@@ -117,6 +123,18 @@ pub const RULES: [Rule; 11] = [
     Rule {
         id: "det-float-format",
         summary: "no debug float formatting in BENCH/trace writer paths",
+    },
+    Rule {
+        id: "conc-raw-thread",
+        summary: "no thread::spawn/scope outside waived, model-checked sites",
+    },
+    Rule {
+        id: "conc-unbounded-channel",
+        summary: "no unbounded channels without a credit/drain waiver",
+    },
+    Rule {
+        id: "conc-lock-across-send",
+        summary: "no channel send/recv while a lock guard is live",
     },
     Rule {
         id: "dag-edge",
@@ -158,6 +176,7 @@ pub const RULES: [Rule; 11] = [
 /// read — I/O trouble, not a lint finding.
 pub fn lint_workspace(root: &Path) -> Result<Vec<Violation>, String> {
     let mut violations = rules::check_determinism(root)?;
+    violations.extend(conc::check_concurrency(root)?);
     violations.extend(dag::check_dag(root)?);
     violations.extend(schema::check_schema(root)?);
     let (waivers, mut format_errors) = waiver::WaiverSet::load(root)?;

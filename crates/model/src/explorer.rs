@@ -1,0 +1,335 @@
+//! The bounded schedule explorer: stateless DFS over every scheduling
+//! decision a model can make.
+//!
+//! # How exploration works
+//!
+//! A *schedule* is the full vector of nondeterministic decisions one
+//! execution makes — which runnable thread steps next, which waiter a
+//! `notify_one` wakes, which contender a released lock is handed to.
+//! The explorer is **stateless** (CHESS-style): it never snapshots the
+//! model, it just re-executes it from scratch under a forced decision
+//! prefix, taking the first alternative (index 0) at every decision
+//! past the prefix and recording `(chosen, options)` pairs as it goes.
+//! Afterwards, every recorded decision point beyond the prefix with
+//! more than one option spawns new prefixes for the untried
+//! alternatives. Driving that worklist to empty visits every
+//! reachable schedule exactly once; models are deterministic given the
+//! decision vector, so the enumeration is reproducible byte for byte.
+//!
+//! # Preemption bounding
+//!
+//! Full interleaving exploration is exponential in trace length, but
+//! almost every real concurrency bug needs only a handful of
+//! preemptions (CHESS's empirical result, which this explorer leans
+//! on). A scheduling decision that switches away from a *still
+//! runnable* previous thread costs one preemption; switching after the
+//! previous thread blocked or finished is free. Once the budget is
+//! spent and the previous thread can still run, it is forced to
+//! continue — one option, so no branching. Exploration at bound *p* is
+//! exhaustive over all schedules with at most *p* preemptions; the
+//! suite in [`crate::check`] runs increasing bounds so a mutant's
+//! counter-example is found at the smallest bound that exposes it.
+//!
+//! # Honest truncation
+//!
+//! [`Explorer::max_schedules`] is a safety net, not a tuning knob:
+//! when the budget trips, [`Exploration::exhaustive`] is `false` and
+//! every caller (the CLI, the tests) is expected to surface that. A
+//! bounded proof that silently became a sample would be worse than no
+//! proof at all.
+
+use crate::sched::{Chooser, Model, ThreadId, ViolationKind};
+
+/// Decision-vector chooser: replays a forced prefix, defaults to the
+/// first alternative beyond it, and records every decision it makes.
+struct ScriptChooser {
+    prefix: Vec<usize>,
+    /// Every decision taken this run, as `(chosen, options)`.
+    taken: Vec<(usize, usize)>,
+}
+
+impl ScriptChooser {
+    fn new(prefix: Vec<usize>) -> ScriptChooser {
+        ScriptChooser {
+            prefix,
+            taken: Vec::new(),
+        }
+    }
+}
+
+impl Chooser for ScriptChooser {
+    fn choose(&mut self, options: usize) -> usize {
+        debug_assert!(options >= 1, "a decision needs at least one option");
+        let pos = self.taken.len();
+        let chosen = if pos < self.prefix.len() {
+            debug_assert!(
+                self.prefix[pos] < options,
+                "prefix decision out of range (model not deterministic?)"
+            );
+            self.prefix[pos]
+        } else {
+            0
+        };
+        self.taken.push((chosen, options));
+        chosen
+    }
+}
+
+/// A failing schedule, replayable and human-readable.
+#[derive(Debug, Clone)]
+pub struct CounterExample {
+    /// The violated property.
+    pub kind: ViolationKind,
+    /// What went wrong, concretely.
+    pub detail: String,
+    /// The full decision vector — feed it back as a prefix to replay.
+    pub schedule: Vec<usize>,
+    /// Preemptions the schedule used.
+    pub preemptions: usize,
+    /// The recorded step log of the failing execution.
+    pub log: Vec<String>,
+}
+
+/// Outcome of exploring one model at one preemption bound.
+#[derive(Debug, Clone)]
+pub struct Exploration {
+    /// Distinct schedules executed.
+    pub schedules: u64,
+    /// `true` when every schedule within the preemption bound was
+    /// visited; `false` when [`Explorer::max_schedules`] tripped.
+    pub exhaustive: bool,
+    /// The first violation found, if any (exploration stops there).
+    pub violation: Option<CounterExample>,
+}
+
+/// One execution's raw result.
+struct RunOutcome {
+    decisions: Vec<(usize, usize)>,
+    violation: Option<(ViolationKind, String)>,
+    preemptions: usize,
+    log: Vec<String>,
+}
+
+/// The bounded explorer. Construct one per (model, bound) pair and
+/// call [`Explorer::explore`].
+#[derive(Debug, Clone, Copy)]
+pub struct Explorer {
+    /// Maximum preemptions per schedule (see module docs).
+    pub preemption_bound: usize,
+    /// Schedule budget; exceeding it flips `exhaustive` to `false`.
+    pub max_schedules: u64,
+    /// Per-schedule step budget — a runaway guard that fails the run
+    /// with a protocol violation rather than hanging the checker.
+    pub max_steps: usize,
+}
+
+impl Explorer {
+    /// An explorer with the given preemption bound and a generous
+    /// default step budget.
+    #[must_use]
+    pub fn new(preemption_bound: usize, max_schedules: u64) -> Explorer {
+        Explorer {
+            preemption_bound,
+            max_schedules,
+            max_steps: 10_000,
+        }
+    }
+
+    /// Executes one schedule: forced `prefix`, first-alternative tail.
+    fn run_once(
+        &self,
+        build: &dyn Fn(bool) -> Model,
+        prefix: &[usize],
+        recording: bool,
+    ) -> RunOutcome {
+        let mut model = build(recording);
+        let mut chooser = ScriptChooser::new(prefix.to_vec());
+        let mut last: Option<ThreadId> = None;
+        let mut preemptions = 0;
+        let mut steps = 0;
+        let mut runnable: Vec<ThreadId> = Vec::new();
+        loop {
+            if model.world.violation.is_some() {
+                break;
+            }
+            model.world.runnable_into(&mut runnable);
+            if runnable.is_empty() {
+                if model.world.all_done() {
+                    if let Some(check) = &model.final_check {
+                        if let Some((kind, detail)) = check(&model.world) {
+                            model.world.fail(kind, detail);
+                        }
+                    }
+                } else {
+                    let (kind, detail) = model.world.classify_stuck();
+                    model.world.fail(kind, detail);
+                }
+                break;
+            }
+            steps += 1;
+            if steps > self.max_steps {
+                model.world.fail(
+                    ViolationKind::Protocol,
+                    format!("schedule exceeded the {} step budget", self.max_steps),
+                );
+                break;
+            }
+            // Preemption forcing: with the budget spent and the previous
+            // thread still runnable, it is the only option (1 option =
+            // no branching, so bounded exploration stays exhaustive
+            // *within the bound*).
+            let last_runnable = last.is_some_and(|l| runnable.contains(&l));
+            let tid = if last_runnable && preemptions >= self.preemption_bound {
+                // One option: no branching, but still one recorded
+                // decision so replay positions stay aligned.
+                chooser.choose(1);
+                last.expect("last_runnable implies last is set")
+            } else {
+                runnable[chooser.choose(runnable.len())]
+            };
+            if last_runnable && Some(tid) != last {
+                preemptions += 1;
+            }
+            model.threads[tid].step(&mut model.world, &mut chooser, tid);
+            last = Some(tid);
+        }
+        RunOutcome {
+            decisions: chooser.taken,
+            violation: model.world.violation.clone(),
+            preemptions,
+            log: model.world.log,
+        }
+    }
+
+    /// Explores every schedule of `build`'s model within the
+    /// preemption bound, stopping at the first violation.
+    ///
+    /// `build` is called once per schedule (plus once more, recording,
+    /// to render a counter-example) and must produce the same model
+    /// every time — the whole enumeration relies on replay determinism.
+    pub fn explore(&self, build: &dyn Fn(bool) -> Model) -> Exploration {
+        let mut stack: Vec<Vec<usize>> = vec![Vec::new()];
+        let mut schedules: u64 = 0;
+        while let Some(prefix) = stack.pop() {
+            if schedules >= self.max_schedules {
+                return Exploration {
+                    schedules,
+                    exhaustive: false,
+                    violation: None,
+                };
+            }
+            schedules += 1;
+            let outcome = self.run_once(build, &prefix, false);
+            if let Some((kind, detail)) = outcome.violation {
+                // Re-run the exact failing schedule with recording on to
+                // produce the human-readable log.
+                let schedule: Vec<usize> = outcome.decisions.iter().map(|d| d.0).collect();
+                let replay = self.run_once(build, &schedule, true);
+                debug_assert!(replay.violation.is_some(), "failing schedule must replay");
+                return Exploration {
+                    schedules,
+                    exhaustive: false,
+                    violation: Some(CounterExample {
+                        kind,
+                        detail,
+                        schedule,
+                        preemptions: outcome.preemptions,
+                        log: replay.log,
+                    }),
+                };
+            }
+            // Branch: every decision beyond the prefix with untried
+            // alternatives becomes a new prefix. Pushed in order, so the
+            // DFS visits alternatives deterministically.
+            for pos in prefix.len()..outcome.decisions.len() {
+                let (chosen, options) = outcome.decisions[pos];
+                debug_assert_eq!(chosen, 0, "tail decisions default to the first option");
+                for alt in 1..options {
+                    let mut next: Vec<usize> =
+                        outcome.decisions[..pos].iter().map(|d| d.0).collect();
+                    next.push(alt);
+                    stack.push(next);
+                }
+            }
+        }
+        Exploration {
+            schedules,
+            exhaustive: true,
+            violation: None,
+        }
+    }
+
+    /// Iterative deepening: explores at bounds `0..=preemption_bound`,
+    /// returning at the first bound that surfaces a violation — so the
+    /// counter-example uses as few preemptions as the fault allows,
+    /// which keeps its log readable. Schedule counts accumulate across
+    /// bounds; `exhaustive` reports the final (deepest) pass.
+    pub fn explore_deepening(&self, build: &dyn Fn(bool) -> Model) -> Exploration {
+        let mut total: u64 = 0;
+        for bound in 0..=self.preemption_bound {
+            let pass = Explorer {
+                preemption_bound: bound,
+                ..*self
+            };
+            let result = pass.explore(build);
+            total += result.schedules;
+            if result.violation.is_some() || bound == self.preemption_bound {
+                return Exploration {
+                    schedules: total,
+                    ..result
+                };
+            }
+        }
+        unreachable!("the final bound always returns");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mutants::Mutant;
+    use crate::protocol::{channel_model, ChanConfig};
+
+    #[test]
+    fn tiny_channel_model_is_clean_and_exhaustive() {
+        let cfg = ChanConfig {
+            receivers: 1,
+            items: 1,
+        };
+        let explorer = Explorer::new(2, 1_000_000);
+        let result = explorer.explore(&|rec| channel_model(cfg, Mutant::None, rec));
+        assert!(result.exhaustive, "tiny model must fit the budget");
+        assert!(result.violation.is_none(), "vendored discipline is clean");
+        assert!(
+            result.schedules >= 2,
+            "sender/receiver orders both explored"
+        );
+    }
+
+    #[test]
+    fn schedule_budget_truncation_is_reported() {
+        let cfg = ChanConfig {
+            receivers: 2,
+            items: 2,
+        };
+        let explorer = Explorer::new(2, 3);
+        let result = explorer.explore(&|rec| channel_model(cfg, Mutant::None, rec));
+        assert!(!result.exhaustive, "a 3-schedule budget must truncate");
+        assert_eq!(result.schedules, 3);
+    }
+
+    #[test]
+    fn counter_examples_carry_a_replayable_schedule_and_log() {
+        let cfg = ChanConfig {
+            receivers: 3,
+            items: 1,
+        };
+        let explorer = Explorer::new(3, 1_000_000);
+        let result =
+            explorer.explore_deepening(&|rec| channel_model(cfg, Mutant::DisconnectNotifyOne, rec));
+        let ce = result.violation.expect("mutant must be caught");
+        assert_eq!(ce.kind, ViolationKind::LostWakeup);
+        assert!(!ce.schedule.is_empty());
+        assert!(!ce.log.is_empty(), "recording replay fills the log");
+    }
+}

@@ -1,0 +1,47 @@
+//! `tangram-model` — a hand-rolled, loom-style bounded model checker
+//! for the sharded runtime's credit protocol and the vendored channel
+//! discipline.
+//!
+//! The sharded runtime (`crates/core/src/shard.rs`) claims four
+//! properties that no unit test can establish, because they quantify
+//! over *schedules*, not inputs: the credit protocol never deadlocks,
+//! never loses a wakeup, never lets a data queue grow past
+//! `CREDIT_WINDOW`, and always merges captures in the 1-shard oracle
+//! order. This crate checks those claims the way loom or CHESS would —
+//! but hand-rolled, because the workspace vendors every dependency:
+//!
+//! * [`sched`] — mock mutexes, condvars and channel state stepped one
+//!   atomic action at a time, with every nondeterministic choice
+//!   (thread to run, waiter to wake, contender to hand a lock to)
+//!   routed through a single [`sched::Chooser`];
+//! * [`channel`] — the vendored crossbeam channel's operations as
+//!   micro-op state machines, preserving the unlock→notify race
+//!   window that makes notification disciplines worth checking;
+//! * [`protocol`] — the extracted model: per-shard producers and the
+//!   demux/merge coordinator mirroring `ShardSet` line for line, plus
+//!   a standalone channel model;
+//! * [`explorer`] — stateless DFS over decision vectors with CHESS-
+//!   style preemption bounding and honest truncation reporting;
+//! * [`mutants`] — seeded one-line protocol breakages the explorer
+//!   must catch, each with its documented violation class;
+//! * [`check`] — the fixed suite (`model_tool check --smoke` in CI's
+//!   lints job; `--full` from the ignored exhaustive test).
+//!
+//! The model shares its constants with the runtime through
+//! [`tangram_types::credit`], so a window change in one place is a
+//! window change in both. What the model does *not* share is code:
+//! it is an extracted abstraction, and `docs/ARCHITECTURE.md`'s
+//! "Concurrency model checking" section records the correspondence
+//! argument and its limits.
+
+pub mod channel;
+pub mod check;
+pub mod explorer;
+pub mod mutants;
+pub mod protocol;
+pub mod sched;
+
+pub use check::{run_suite, Mode, SuiteResult};
+pub use explorer::{CounterExample, Explorer};
+pub use mutants::Mutant;
+pub use sched::ViolationKind;

@@ -2,8 +2,10 @@
 //!
 //! This crate deliberately contains no behaviour beyond plain data types and
 //! their arithmetic: pixel-space [`geometry`], id newtypes ([`ids`]),
-//! simulated [`time`], measurement [`units`], and the patch/canvas/batch
-//! [`patch`] model that flows from edge cameras to the cloud scheduler.
+//! simulated [`time`], measurement [`units`], the patch/canvas/batch
+//! [`patch`] model that flows from edge cameras to the cloud scheduler,
+//! and the shard [`credit`] protocol's shared constants (one vocabulary
+//! for the runtime and its model checker).
 //!
 //! # Example
 //!
@@ -20,6 +22,7 @@
 //! assert!(deadline > generated);
 //! ```
 
+pub mod credit;
 pub mod error;
 pub mod geometry;
 pub mod ids;

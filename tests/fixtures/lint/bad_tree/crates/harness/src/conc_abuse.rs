@@ -1,0 +1,8 @@
+//! Concurrency-discipline abuse: one pinned violation per conc rule.
+
+pub fn abuse(state: &std::sync::Mutex<u32>) {
+    let (tx, rx) = crossbeam::channel::unbounded::<u32>();
+    std::thread::spawn(move || drop(rx));
+    let guard = state.lock().unwrap();
+    tx.send(*guard).unwrap();
+}

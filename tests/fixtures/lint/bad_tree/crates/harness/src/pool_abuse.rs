@@ -1,0 +1,6 @@
+//! A sanctioned-looking spawn site: covered by the fixture allowlist's
+//! live `conc-raw-thread` waiver, so nothing here reaches the output.
+
+pub fn waived_spawn() {
+    std::thread::scope(|_| {});
+}

@@ -214,6 +214,32 @@ fn sharded_scenario_grid_matches_the_single_shard_bytes() {
 }
 
 #[test]
+fn minimum_credit_window_grid_matches_the_oracle_bytes() {
+    // CREDIT_WINDOW = 1 is the most adversarial legal window: every
+    // shard capture blocks until the coordinator returns its one
+    // credit, so the merge interleaving is maximally serialized — the
+    // exact regime the model checker's `credit s* w1` rows explore.
+    // The end-to-end guarantee must not depend on the window: a grid
+    // run with the window pinned to 1 serializes to the same bytes as
+    // the default-window run, at every shard count. `credit_window` is
+    // execution-only (like `shards`), so it must never reach the
+    // artifact either.
+    let mut grid = tangram_harness::presets::churn_grid(42, 24);
+    grid.scenarios[0].session_s = Some(3.0);
+    let oracle = run_grid(&grid, 2).to_json();
+    grid.credit_window = Some(1);
+    for shards in [1, 2, 8] {
+        grid.shards = shards;
+        let starved = run_grid(&grid, 2).to_json();
+        assert_eq!(
+            starved, oracle,
+            "window 1 at {shards} shard(s) diverged from the default window"
+        );
+    }
+    assert!(!oracle.contains("\"credit_window\""));
+}
+
+#[test]
 fn faulted_scenario_grid_matches_the_single_shard_bytes() {
     // Fault injection must not weaken the sharding guarantee: a scenario
     // carrying declarative fault windows (a brownout across most of the

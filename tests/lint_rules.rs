@@ -6,7 +6,7 @@
 
 use std::path::PathBuf;
 use tangram::lint::waiver::WaiverSet;
-use tangram::lint::{dag, lint_workspace, rules, schema, Violation};
+use tangram::lint::{conc, dag, lint_workspace, rules, schema, Violation};
 
 /// The real workspace root (the umbrella package's manifest dir).
 fn repo_root() -> PathBuf {
@@ -37,6 +37,17 @@ fn bad_tree_reports_every_family_at_exact_lines() {
         ("crates/alpha/Cargo.toml", 2, "dag-unlisted"),
         ("crates/beta/Cargo.toml", 2, "dag-unlisted"),
         ("crates/beta/Cargo.toml", 5, "dag-cycle"),
+        (
+            "crates/harness/src/conc_abuse.rs",
+            4,
+            "conc-unbounded-channel",
+        ),
+        ("crates/harness/src/conc_abuse.rs", 5, "conc-raw-thread"),
+        (
+            "crates/harness/src/conc_abuse.rs",
+            7,
+            "conc-lock-across-send",
+        ),
         ("crates/sim/src/clock_abuse.rs", 3, "det-hash-order"),
         ("crates/sim/src/clock_abuse.rs", 4, "det-wall-clock"),
         ("crates/sim/src/clock_abuse.rs", 8, "det-wall-clock"),
@@ -117,14 +128,19 @@ fn schema_sync_points_at_the_writer_constant() {
     );
 }
 
-/// The live fixture waiver suppresses both `det-hash-order` hits in
-/// `crates/stitch/src/noise.rs` — none survive to the output.
+/// The live fixture waivers suppress both `det-hash-order` hits in
+/// `crates/stitch/src/noise.rs` and the `conc-raw-thread` hit in
+/// `crates/harness/src/pool_abuse.rs` — none survive to the output.
 #[test]
 fn live_waiver_suppresses_its_violations() {
     let violations = lint_workspace(&bad_tree()).expect("lint bad tree");
     assert!(
         !violations.iter().any(|v| v.path.contains("stitch")),
         "waived stitch violations leaked: {violations:?}"
+    );
+    assert!(
+        !violations.iter().any(|v| v.path.contains("pool_abuse")),
+        "waived conc violations leaked: {violations:?}"
     );
     // And the rejected (empty-justification) waiver does NOT suppress:
     // the sim wall-clock hits are still present per the full-list test.
@@ -157,6 +173,7 @@ fn real_tree_is_clean() {
 fn every_real_waiver_is_load_bearing() {
     let root = repo_root();
     let mut raw = rules::check_determinism(&root).expect("determinism");
+    raw.extend(conc::check_concurrency(&root).expect("concurrency"));
     raw.extend(dag::check_dag(&root).expect("dag"));
     raw.extend(schema::check_schema(&root).expect("schema"));
     let (waivers, format_errors) = WaiverSet::load(&root).expect("allowlist");
@@ -179,6 +196,7 @@ fn every_real_waiver_is_load_bearing() {
 fn unused_waiver_added_to_real_allowlist_goes_stale() {
     let root = repo_root();
     let mut raw = rules::check_determinism(&root).expect("determinism");
+    raw.extend(conc::check_concurrency(&root).expect("concurrency"));
     raw.extend(dag::check_dag(&root).expect("dag"));
     raw.extend(schema::check_schema(&root).expect("schema"));
     let (mut waivers, _) = WaiverSet::load(&root).expect("allowlist");

@@ -6,6 +6,32 @@
 //! experiment harness's shared work queue, where N workers pull sweep
 //! cells from one receiver. `select!` and bounded channels are not
 //! provided.
+//!
+//! # Notification discipline (model-checked)
+//!
+//! The channel uses a single `ready` condvar with exactly two
+//! notification sites, and `tangram-model` explores both exhaustively
+//! (the `channel r*` rows of `model_tool check`), so this discipline is
+//! pinned by a regression suite, not just by this comment:
+//!
+//! * [`Sender::send`](channel::Sender::send) calls `notify_one` after
+//!   pushing. One is enough:
+//!   each send adds exactly one value, every receiver rechecks the
+//!   queue under the mutex before sleeping (a condvar wait releases
+//!   the lock atomically, so the push either lands before the recheck
+//!   or the notify lands after the park — there is no lost-update
+//!   window), and a woken receiver has left the wait set, so a later
+//!   send's `notify_one` targets a *different* sleeper.
+//! * `Sender::drop` calls `notify_all` when the last sender
+//!   disconnects. The broadcast is load-bearing: disconnect is a
+//!   one-shot edge with no follow-up notifications, so every parked
+//!   receiver must learn of it from this single site. Weakening it to
+//!   `notify_one` strands all but one of the parked receivers forever
+//!   — the model checker's `disconnect-notify-one` mutant reproduces
+//!   that lost wakeup with three receivers and one in-flight value.
+//! * `Receiver::drop` notifies nobody, which is sound because
+//!   senders never block: `send` is non-blocking on an unbounded
+//!   queue, so there is no one to wake on the consumer side.
 
 pub mod channel {
     use std::collections::VecDeque;
